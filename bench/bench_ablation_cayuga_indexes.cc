@@ -1,0 +1,86 @@
+// Ablation: the three Cayuga indexes (FR / AN / AI) on their respective
+// workloads — quantifies what each index contributes to the baseline the
+// paper compares against (§4.3, §5.2).
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+namespace {
+
+double MeasureCayugaW1(const SyntheticParams& params,
+                       const CayugaEngine::Options& opts, int64_t warmup) {
+  Rng rng(params.seed);
+  std::vector<W1Spec> specs = DrawW1Specs(params, rng);
+  Schema schema = params.MakeSchema();
+  std::vector<CayugaAutomaton> automata;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    automata.push_back(
+        MakeW1Automaton("Q" + std::to_string(i), specs[i], schema));
+  }
+  Rng feed_rng(params.seed ^ 0xfeed);
+  std::vector<Event> events =
+      GenerateInterleaved(params, params.num_tuples, 0, feed_rng);
+  return RunCayuga(automata, opts, events, warmup)
+      .result.EventsPerSecond();
+}
+
+double MeasureCayugaW2(const SyntheticParams& params,
+                       const CayugaEngine::Options& opts, int64_t warmup) {
+  Rng rng(params.seed);
+  std::vector<W2Spec> specs = DrawW2Specs(params, false, rng);
+  Schema schema = params.MakeSchema();
+  std::vector<CayugaAutomaton> automata;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    automata.push_back(
+        MakeW2Automaton("Q" + std::to_string(i), specs[i], schema));
+  }
+  Rng feed_rng(params.seed ^ 0xfeed);
+  std::vector<Event> events =
+      GenerateInterleaved(params, params.num_tuples, 0, feed_rng);
+  return RunCayuga(automata, opts, events, warmup)
+      .result.EventsPerSecond();
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  SyntheticParams w1;
+  w1.num_queries = scale.full ? 10000 : 1000;
+  w1.num_tuples = scale.tuples;
+  SyntheticParams w2;
+  w2.num_queries = scale.full ? 1000 : 100;
+  w2.num_tuples = scale.full ? scale.tuples : scale.tuples / 3;
+
+  CayugaEngine::Options all;
+  CayugaEngine::Options no_fr = all;
+  no_fr.fr_index = false;
+  CayugaEngine::Options no_an = all;
+  no_an.an_index = false;
+  CayugaEngine::Options no_ai = all;
+  no_ai.ai_index = false;
+  CayugaEngine::Options no_merge = all;
+  no_merge.merge_prefixes = false;
+
+  std::printf("# Ablation — Cayuga indexes, Workload 1 (%d queries)\n",
+              w1.num_queries);
+  std::printf("%-24s %16s\n", "configuration", "events/s");
+  std::printf("%-24s %16.0f\n", "all indexes",
+              MeasureCayugaW1(w1, all, scale.warmup));
+  std::printf("%-24s %16.0f\n", "no FR index",
+              MeasureCayugaW1(w1, no_fr, scale.warmup));
+  std::printf("%-24s %16.0f\n", "no AN index",
+              MeasureCayugaW1(w1, no_an, scale.warmup));
+  std::printf("%-24s %16.0f\n", "no state merging",
+              MeasureCayugaW1(w1, no_merge, scale.warmup));
+
+  std::printf("\n# Ablation — Cayuga AI index, Workload 2 (%d queries)\n",
+              w2.num_queries);
+  std::printf("%-24s %16s\n", "configuration", "events/s");
+  std::printf("%-24s %16.0f\n", "all indexes",
+              MeasureCayugaW2(w2, all, scale.warmup / 3));
+  std::printf("%-24s %16.0f\n", "no AI index",
+              MeasureCayugaW2(w2, no_ai, scale.warmup / 3));
+  return 0;
+}

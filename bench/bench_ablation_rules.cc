@@ -1,0 +1,61 @@
+// Ablation: contribution of each m-rule family on Workload 1 (paper-beyond
+// experiment called out in DESIGN.md). Each row disables exactly one rule
+// family; "none" disables all (the naive one-m-op-per-operator plan).
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+namespace {
+
+double Measure(const SyntheticParams& params, const OptimizerOptions& opts,
+               int64_t warmup) {
+  Rng rng(params.seed);
+  std::vector<W1Spec> specs = DrawW1Specs(params, rng);
+  Schema schema = params.MakeSchema();
+  std::vector<Query> queries;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    queries.push_back(MakeW1Query("Q" + std::to_string(i), specs[i], schema));
+  }
+  Rng feed_rng(params.seed ^ 0xfeed);
+  std::vector<Event> events =
+      GenerateInterleaved(params, params.num_tuples, 0, feed_rng);
+  return RunRumor(queries, opts, events, warmup).result.EventsPerSecond();
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  SyntheticParams params;
+  params.num_queries = scale.full ? 10000 : 1000;
+  params.num_tuples = scale.tuples;
+
+  std::printf("# Ablation — rule families on Workload 1 (%d queries)\n",
+              params.num_queries);
+  std::printf("%-24s %16s\n", "configuration", "events/s");
+
+  struct Config {
+    const char* name;
+    OptimizerOptions opts;
+  };
+  OptimizerOptions all;
+  OptimizerOptions none;
+  none.enable_cse = none.enable_predicate_index = none.enable_shared_aggregate =
+      none.enable_shared_join = none.enable_channels = false;
+  OptimizerOptions no_cse = all;
+  no_cse.enable_cse = false;
+  OptimizerOptions no_index = all;
+  no_index.enable_predicate_index = false;
+  OptimizerOptions cse_only = none;
+  cse_only.enable_cse = true;
+
+  for (const Config& c :
+       {Config{"all rules", all}, Config{"no CSE (s;/sµ)", no_cse},
+        Config{"no predicate index", no_index},
+        Config{"CSE only", cse_only}, Config{"no rules (naive)", none}}) {
+    double ev = Measure(params, c.opts, scale.warmup);
+    std::printf("%-24s %16.0f\n", c.name, ev);
+  }
+  return 0;
+}

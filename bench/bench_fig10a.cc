@@ -1,0 +1,26 @@
+// Figure 10(a): Workload 2 (S ;[S.a0=T.a0] T, the AI-index workload),
+// normalized throughput vs the number of sequence queries.
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PrintHeader("Figure 10(a)", "num_queries",
+              "Workload 2 (;), throughput vs number of queries");
+  std::vector<Row> rows;
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    if (n > scale.max_queries) break;
+    SyntheticParams params;
+    params.num_queries = n;
+    // This workload is much heavier (every S tuple becomes an instance);
+    // keep runs bounded at quick scale.
+    params.num_tuples = scale.full ? scale.tuples : scale.tuples / 3;
+    Row row = MeasureW2(params, /*iterate=*/false, scale.warmup / 3);
+    row.x = n;
+    rows.push_back(row);
+  }
+  PrintRows(rows);
+  return 0;
+}

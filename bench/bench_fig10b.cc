@@ -1,0 +1,26 @@
+// Figure 10(b): the µ variant of Workload 2
+// (S µ[S.a0=T.a0, T.a1>last.a1] T), normalized throughput vs the number of
+// queries. Same trends as 10(a) with lower absolute values (µ is the more
+// expensive operator).
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PrintHeader("Figure 10(b)", "num_queries",
+              "Workload 2 (µ), throughput vs number of queries");
+  std::vector<Row> rows;
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    if (n > scale.max_queries) break;
+    SyntheticParams params;
+    params.num_queries = n;
+    params.num_tuples = scale.full ? scale.tuples : scale.tuples / 3;
+    Row row = MeasureW2(params, /*iterate=*/true, scale.warmup / 3);
+    row.x = n;
+    rows.push_back(row);
+  }
+  PrintRows(rows);
+  return 0;
+}

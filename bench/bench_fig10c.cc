@@ -1,0 +1,33 @@
+// Figure 10(c): Workload 3 — absolute throughput of the channel plan vs the
+// no-channel plan as the number of queries grows (channel capacity = number
+// of distinct sharable sources = number of queries, each C tuple belonging
+// to all of them — the paper's optimistic setting).
+#include "bench/w3_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  std::printf("# Figure 10(c) — Workload 3: Seq with vs without channel, "
+              "absolute throughput vs number of queries\n");
+  std::printf("%-12s %20s %20s %10s\n", "num_queries", "with_channel_t/s",
+              "without_channel_t/s", "ratio");
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    if (n > scale.max_queries) break;
+    int64_t rounds = std::max<int64_t>(20, scale.tuples / (n + 1));
+    int64_t warmup = rounds / 10;
+    W3Result with_ch =
+        RunW3(n, /*capacity=*/n, /*with_channel=*/true, rounds, warmup, 42);
+    W3Result without_ch =
+        RunW3(n, /*capacity=*/n, /*with_channel=*/false, rounds, warmup, 42);
+    std::printf("%-12d %20.0f %20.0f %10.2f\n", n,
+                with_ch.logical_tuples_per_second,
+                without_ch.logical_tuples_per_second,
+                without_ch.logical_tuples_per_second > 0
+                    ? with_ch.logical_tuples_per_second /
+                          without_ch.logical_tuples_per_second
+                    : 0.0);
+  }
+  return 0;
+}

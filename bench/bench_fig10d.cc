@@ -1,0 +1,32 @@
+// Figure 10(d): Workload 3 — absolute throughput vs channel capacity (the
+// number of streams the channel encodes). More encoded streams => more
+// logical tuples carried per channel tuple => larger savings over the
+// no-channel plan.
+#include "bench/w3_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  std::printf("# Figure 10(d) — Workload 3: throughput vs channel "
+              "capacity\n");
+  std::printf("%-12s %20s %20s %10s\n", "capacity", "with_channel_t/s",
+              "without_channel_t/s", "ratio");
+  for (int capacity : {5, 10, 15, 20, 25}) {
+    int64_t rounds = std::max<int64_t>(20, scale.tuples / (capacity + 1));
+    int64_t warmup = rounds / 10;
+    W3Result with_ch = RunW3(capacity, capacity, /*with_channel=*/true,
+                             rounds, warmup, 42);
+    W3Result without_ch = RunW3(capacity, capacity, /*with_channel=*/false,
+                                rounds, warmup, 42);
+    std::printf("%-12d %20.0f %20.0f %10.2f\n", capacity,
+                with_ch.logical_tuples_per_second,
+                without_ch.logical_tuples_per_second,
+                without_ch.logical_tuples_per_second > 0
+                    ? with_ch.logical_tuples_per_second /
+                          without_ch.logical_tuples_per_second
+                    : 0.0);
+  }
+  return 0;
+}

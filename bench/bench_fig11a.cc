@@ -1,0 +1,32 @@
+// Figure 11(a): hybrid query workload over the D1-like trace (104
+// processes), sel = 0.5 — throughput vs the number of hybrid queries, with
+// and without channels.
+#include "bench/hybrid_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PerfmonParams params;  // 104 processes (D1)
+  params.duration_seconds = scale.full ? 1000 : 250;
+  std::vector<Tuple> trace = GeneratePerfmonTrace(params);
+  const int64_t warmup = static_cast<int64_t>(trace.size()) / 10;
+
+  std::printf("# Figure 11(a) — hybrid queries on D1-like trace "
+              "(%d processes), sel=0.5\n",
+              params.num_processes);
+  std::printf("%-12s %20s %20s %10s\n", "num_queries", "with_channel_ev/s",
+              "without_channel_ev/s", "ratio");
+  for (int n : {5, 10, 15, 20, 25}) {
+    HybridResult with_ch = RunHybrid(n, 0.5, true, trace, warmup);
+    HybridResult without_ch = RunHybrid(n, 0.5, false, trace, warmup);
+    std::printf("%-12d %20.0f %20.0f %10.2f\n", n,
+                with_ch.events_per_second, without_ch.events_per_second,
+                without_ch.events_per_second > 0
+                    ? with_ch.events_per_second /
+                          without_ch.events_per_second
+                    : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 11(b): hybrid query workload, 10 queries — throughput vs the
+// selectivity of the starting conditions. The paper's observation: the
+// channel plan drops once (sel 0 -> 0.2) then stays flat, because the work
+// per channel tuple in µ{1..n} is independent of how many starting
+// conditions it satisfies; the no-channel plan keeps degrading.
+#include "bench/hybrid_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PerfmonParams params;  // D1-like
+  params.duration_seconds = scale.full ? 1000 : 250;
+  std::vector<Tuple> trace = GeneratePerfmonTrace(params);
+  const int64_t warmup = static_cast<int64_t>(trace.size()) / 10;
+
+  std::printf("# Figure 11(b) — hybrid queries (n=10) vs starting-condition "
+              "selectivity\n");
+  std::printf("%-12s %20s %20s %10s\n", "sel_x100", "with_channel_ev/s",
+              "without_channel_ev/s", "ratio");
+  for (double sel : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    HybridResult with_ch = RunHybrid(10, sel, true, trace, warmup);
+    HybridResult without_ch = RunHybrid(10, sel, false, trace, warmup);
+    std::printf("%-12d %20.0f %20.0f %10.2f\n",
+                static_cast<int>(sel * 100), with_ch.events_per_second,
+                without_ch.events_per_second,
+                without_ch.events_per_second > 0
+                    ? with_ch.events_per_second /
+                          without_ch.events_per_second
+                    : 0.0);
+  }
+  return 0;
+}

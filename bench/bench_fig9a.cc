@@ -1,0 +1,24 @@
+// Figure 9(a): Workload 1 (σθ1(S) ; σθ3(T), FR + AN indexes), normalized
+// throughput vs the number of queries.
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PrintHeader("Figure 9(a)", "num_queries",
+              "Workload 1, throughput vs number of queries");
+  std::vector<Row> rows;
+  for (int n : {1, 10, 100, 1000, 10000, 100000}) {
+    if (n > scale.max_queries) break;
+    SyntheticParams params;
+    params.num_queries = n;
+    params.num_tuples = scale.tuples;
+    Row row = MeasureW1(params, scale.warmup);
+    row.x = n;
+    rows.push_back(row);
+  }
+  PrintRows(rows);
+  return 0;
+}

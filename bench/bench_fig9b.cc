@@ -1,0 +1,23 @@
+// Figure 9(b): Workload 1, normalized throughput vs the constant domain
+// size (larger domain => more selective predicates => lighter load).
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PrintHeader("Figure 9(b)", "const_domain",
+              "Workload 1, throughput vs constant domain size");
+  std::vector<Row> rows;
+  for (int64_t domain : {10, 100, 1000, 10000, 100000}) {
+    SyntheticParams params;
+    params.constant_domain = domain;
+    params.num_tuples = scale.tuples;
+    Row row = MeasureW1(params, scale.warmup);
+    row.x = domain;
+    rows.push_back(row);
+  }
+  PrintRows(rows);
+  return 0;
+}

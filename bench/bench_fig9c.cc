@@ -1,0 +1,25 @@
+// Figure 9(c): Workload 1, normalized throughput vs the window length
+// domain size. The paper's observation: the Cayuga ; consumes matched
+// instances, so larger windows barely increase load — both systems stay
+// nearly flat.
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PrintHeader("Figure 9(c)", "window_domain",
+              "Workload 1, throughput vs window length domain size");
+  std::vector<Row> rows;
+  for (int64_t domain : {10, 100, 1000, 10000, 100000}) {
+    SyntheticParams params;
+    params.window_domain = domain;
+    params.num_tuples = scale.tuples;
+    Row row = MeasureW1(params, scale.warmup);
+    row.x = domain;
+    rows.push_back(row);
+  }
+  PrintRows(rows);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 9(d): Workload 1, normalized throughput vs the Zipf parameter.
+// Higher skew => more identical queries => more CSE / state-merging wins
+// (a factor of ~2 from 1.2 to 2.0 in the paper — modest, because the
+// FR/AN indexes already absorb most of the sharing).
+#include "bench/figure_common.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+int main() {
+  Scale scale = GetScale();
+  PrintHeader("Figure 9(d)", "zipf_x10",
+              "Workload 1, throughput vs Zipf parameter (x-axis x10)");
+  std::vector<Row> rows;
+  for (double z : {1.2, 1.4, 1.6, 1.8, 2.0}) {
+    SyntheticParams params;
+    params.zipf_parameter = z;
+    params.num_tuples = scale.tuples;
+    Row row = MeasureW1(params, scale.warmup);
+    row.x = static_cast<int64_t>(z * 10);
+    rows.push_back(row);
+  }
+  PrintRows(rows);
+  return 0;
+}

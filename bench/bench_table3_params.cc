@@ -1,0 +1,27 @@
+// Table 3 of the paper: the synthetic-benchmark parameter defaults this
+// repository uses, plus the harness scale currently in effect.
+#include <cstdio>
+
+#include "bench/figure_common.h"
+
+int main() {
+  rumor::SyntheticParams p;
+  rumor::bench::Scale scale = rumor::bench::GetScale();
+  std::printf("# Table 3 — synthetic benchmark parameters (defaults)\n");
+  std::printf("%-44s %12d\n", "Number of queries", p.num_queries);
+  std::printf("%-44s %12d\n", "Number of attributes in stream schemas",
+              p.num_attributes);
+  std::printf("%-44s %12lld\n", "Constant domain size",
+              static_cast<long long>(p.constant_domain));
+  std::printf("%-44s %12lld\n", "Window length domain size",
+              static_cast<long long>(p.window_domain));
+  std::printf("%-44s %12.2f\n", "Zipfian parameter", p.zipf_parameter);
+  std::printf("\n# harness scale (RUMOR_BENCH_SCALE=%s)\n",
+              scale.full ? "full" : "quick");
+  std::printf("%-44s %12lld\n", "Events per measurement",
+              static_cast<long long>(scale.tuples));
+  std::printf("%-44s %12lld\n", "Warm-up events",
+              static_cast<long long>(scale.warmup));
+  std::printf("%-44s %12d\n", "Query-sweep cap", scale.max_queries);
+  return 0;
+}

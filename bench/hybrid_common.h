@@ -1,0 +1,56 @@
+// Hybrid-query runner (Figures 11(a)/11(b)): the §5.3 workload — modified
+// Query-2 instances over the synthetic performance-counter trace (the
+// substitute for the paper's Windows datasets D1/D2) — with the channel
+// rules enabled vs disabled.
+#ifndef RUMOR_BENCH_HYBRID_COMMON_H_
+#define RUMOR_BENCH_HYBRID_COMMON_H_
+
+#include "bench/figure_common.h"
+#include "workload/perfmon.h"
+
+namespace rumor {
+namespace bench {
+
+struct HybridResult {
+  double events_per_second = 0;
+  int64_t outputs = 0;
+  int live_mops = 0;
+};
+
+inline HybridResult RunHybrid(int num_queries, double sel, bool with_channel,
+                              const std::vector<Tuple>& trace,
+                              int64_t warmup) {
+  std::vector<Query> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(MakeHybridQuery(i, sel, /*smooth_window=*/60));
+  }
+  Plan plan;
+  auto compiled = CompileQueries(queries, &plan);
+  RUMOR_CHECK(compiled.ok()) << compiled.status().ToString();
+  OptimizerOptions options;
+  options.enable_channels = with_channel;
+  Optimize(&plan, options);
+
+  HybridResult out;
+  out.live_mops = static_cast<int>(plan.LiveMops().size());
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId cpu = *plan.streams().FindSource("CPU");
+
+  int64_t i = 0;
+  const int64_t n = static_cast<int64_t>(trace.size());
+  for (; i < warmup && i < n; ++i) exec.PushSource(cpu, trace[i]);
+  Stopwatch timer;
+  for (; i < n; ++i) exec.PushSource(cpu, trace[i]);
+  double seconds = timer.ElapsedSeconds();
+  out.events_per_second =
+      seconds > 0 ? static_cast<double>(n - warmup) / seconds : 0;
+  out.outputs = sink.total();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace rumor
+
+#endif  // RUMOR_BENCH_HYBRID_COMMON_H_

@@ -1,0 +1,104 @@
+// Workload 3 runner (Figures 10(c)/10(d)): channel vs no-channel plans over
+// sharable sources, with the paper's §5.2 feeding protocol:
+//  * with channel   — one broadcast channel tuple per round for S1..Sk,
+//    plus one T tuple (the generator feeds channel C directly);
+//  * without channel — a round-robin round of k identical Si tuples plus
+//    one T tuple.
+// Both feeds carry exactly the same logical stream content; throughput is
+// reported in *logical stream tuples* per second ((k+1) per round in both
+// plans) so the comparison is content-for-content fair.
+#ifndef RUMOR_BENCH_W3_COMMON_H_
+#define RUMOR_BENCH_W3_COMMON_H_
+
+#include "bench/figure_common.h"
+
+namespace rumor {
+namespace bench {
+
+struct W3Result {
+  double logical_tuples_per_second = 0;
+  int64_t outputs = 0;
+  int live_mops = 0;
+};
+
+// `num_queries` queries; query i reads source S(i % capacity); identical
+// definitions (window 1000) so the channel rule applies to each source
+// group. `rounds` rounds are fed after `warmup_rounds`.
+inline W3Result RunW3(int num_queries, int capacity, bool with_channel,
+                      int64_t rounds, int64_t warmup_rounds, uint64_t seed) {
+  SyntheticParams params;
+  Schema schema = params.MakeSchema();
+  std::vector<Query> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    queries.push_back(MakeW3Query("Q" + std::to_string(i), i % capacity,
+                                  /*window=*/1000, schema));
+  }
+
+  Plan plan;
+  auto compiled = CompileQueries(queries, &plan);
+  RUMOR_CHECK(compiled.ok()) << compiled.status().ToString();
+  OptimizerOptions options;
+  options.enable_channels = with_channel;
+  Optimize(&plan, options);
+
+  W3Result out;
+  out.live_mops = static_cast<int>(plan.LiveMops().size());
+
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+
+  // Resolve the feed targets. With a single source there is no group to
+  // encode (the channel rule needs >= 2 sharable streams); fall back to the
+  // plain source push, which is the same plan.
+  ChannelId group_channel = kInvalidChannel;
+  if (with_channel && capacity >= 2) {
+    auto groups = plan.SourceGroupChannels();
+    RUMOR_CHECK(groups.size() == 1)
+        << "channel rule did not form the source channel";
+    group_channel = groups[0];
+  }
+  std::vector<StreamId> sources;
+  for (int i = 0; i < capacity; ++i) {
+    auto id = plan.streams().FindSource("S" + std::to_string(i));
+    RUMOR_CHECK(id.has_value());
+    sources.push_back(*id);
+  }
+  StreamId t_stream = *plan.streams().FindSource("T");
+  const int cap =
+      group_channel != kInvalidChannel
+          ? plan.channel(group_channel).capacity()
+          : 0;
+
+  Rng rng(seed);
+  Stopwatch timer;
+  double measured_seconds = 0;
+  for (int64_t r = 0; r < warmup_rounds + rounds; ++r) {
+    if (r == warmup_rounds) timer.Restart();
+    Timestamp ts = 2 * r;
+    std::vector<int64_t> values(schema.size());
+    for (auto& v : values) v = rng.UniformInt(0, 999);
+    Tuple s_tuple = Tuple::MakeInts(values, ts);
+    if (group_channel != kInvalidChannel) {
+      exec.PushChannel(group_channel,
+                       ChannelTuple{s_tuple, BitVector::AllOnes(cap)});
+    } else {
+      for (StreamId s : sources) exec.PushSource(s, s_tuple);
+    }
+    for (auto& v : values) v = rng.UniformInt(0, 999);
+    exec.PushSource(t_stream, Tuple::MakeInts(values, ts + 1));
+  }
+  measured_seconds = timer.ElapsedSeconds();
+
+  out.logical_tuples_per_second =
+      measured_seconds > 0
+          ? static_cast<double>(rounds * (capacity + 1)) / measured_seconds
+          : 0;
+  out.outputs = sink.total();
+  return out;
+}
+
+}  // namespace bench
+}  // namespace rumor
+
+#endif  // RUMOR_BENCH_W3_COMMON_H_

@@ -1,0 +1,122 @@
+#include "api/stream_engine.h"
+
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "plan/explain.h"
+
+namespace rumor {
+
+// Routes output-stream tuples to the per-query handler. One stream may
+// serve several (CSE-merged) queries.
+class StreamEngine::HandlerSink : public OutputSink {
+ public:
+  void Bind(StreamId stream, std::string query_name) {
+    routes_[stream].push_back(std::move(query_name));
+  }
+  void SetHandler(const OutputHandler* handler) { handler_ = handler; }
+
+  void OnOutput(StreamId stream, const Tuple& tuple) override {
+    auto it = routes_.find(stream);
+    if (it == routes_.end()) return;
+    for (const std::string& name : it->second) {
+      ++counts_[name];
+      if (handler_ != nullptr && *handler_) (*handler_)(name, tuple);
+    }
+  }
+
+  int64_t CountFor(const std::string& name) const {
+    auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<StreamId, std::vector<std::string>> routes_;
+  std::unordered_map<std::string, int64_t> counts_;
+  const OutputHandler* handler_ = nullptr;
+};
+
+StreamEngine::StreamEngine(OptimizerOptions options)
+    : options_(options) {}
+
+StreamEngine::~StreamEngine() = default;
+
+Status StreamEngine::RegisterSource(const std::string& name, Schema schema,
+                                    int sharable_label) {
+  if (started()) return Status::Internal("engine already started");
+  if (catalog_.Resolve(name) != nullptr) {
+    return Status::AlreadyExists(StrCat("source '", name, "' exists"));
+  }
+  catalog_.AddSource(name, std::move(schema), sharable_label);
+  return Status::OK();
+}
+
+Status StreamEngine::AddQuery(Query query) {
+  if (started()) return Status::Internal("engine already started");
+  if (query.root == nullptr) {
+    return Status::InvalidArgument("query has no body");
+  }
+  catalog_.AddQuery(query);
+  queries_.push_back(std::move(query));
+  return Status::OK();
+}
+
+Status StreamEngine::AddQueryText(const std::string& rql,
+                                  const std::string& name) {
+  auto parsed = ParseQuery(rql, catalog_);
+  if (!parsed.ok()) return parsed.status();
+  Query query = std::move(parsed).value();
+  if (!name.empty()) query.name = name;
+  return AddQuery(std::move(query));
+}
+
+Status StreamEngine::AddScript(const std::string& rql) {
+  auto parsed = ParseScript(rql, catalog_);
+  if (!parsed.ok()) return parsed.status();
+  for (Query& q : parsed.value()) {
+    RUMOR_RETURN_IF_ERROR(AddQuery(std::move(q)));
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::Start() {
+  if (started()) return Status::Internal("engine already started");
+  if (queries_.empty()) return Status::InvalidArgument("no queries added");
+  auto compiled = CompileQueries(queries_, &plan_);
+  if (!compiled.ok()) return compiled.status();
+  stats_ = Optimize(&plan_, options_);
+
+  sink_ = std::make_unique<HandlerSink>();
+  sink_->SetHandler(&handler_);
+  for (const Plan::OutputDef& def : plan_.outputs()) {
+    sink_->Bind(def.stream, def.query_name);
+  }
+  executor_ = std::make_unique<Executor>(&plan_, sink_.get());
+  executor_->Prepare();
+  for (StreamId s : plan_.streams().Sources()) {
+    source_ids_.push_back({plan_.streams().Get(s).name, s});
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::Push(const std::string& source, const Tuple& tuple) {
+  if (!started()) return Status::Internal("call Start() first");
+  for (const auto& [name, id] : source_ids_) {
+    if (name == source) {
+      executor_->PushSource(id, tuple);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(
+      StrCat("source '", source, "' is not read by any query"));
+}
+
+int64_t StreamEngine::OutputCount(const std::string& query_name) const {
+  return sink_ == nullptr ? 0 : sink_->CountFor(query_name);
+}
+
+std::string StreamEngine::Explain() const {
+  return ExplainPlan(plan_);
+}
+
+}  // namespace rumor

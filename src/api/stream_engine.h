@@ -1,0 +1,88 @@
+// StreamEngine — the one-stop public API of the library: register sources,
+// add continuous queries (logical objects or RQL text), Start() to compile
+// and rule-optimize the combined plan, then push tuples and receive per-
+// query results through a callback.
+//
+//   StreamEngine engine;
+//   engine.RegisterSource("CPU", Schema({{"pid", kInt}, {"load", kInt}}));
+//   engine.AddScript(
+//       "SMOOTHED: SELECT pid, AVG(load) FROM CPU [RANGE 60] GROUP BY pid;"
+//       "HOT: SELECT * FROM SMOOTHED WHERE avg_load > 90;");
+//   engine.SetOutputHandler([](const std::string& q, const Tuple& t) { ... });
+//   engine.Start();
+//   engine.Push("CPU", Tuple::MakeInts({1, 95}, 0));
+#ifndef RUMOR_API_STREAM_ENGINE_H_
+#define RUMOR_API_STREAM_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "query/parser.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+
+class StreamEngine {
+ public:
+  explicit StreamEngine(OptimizerOptions options = OptimizerOptions());
+  ~StreamEngine();  // defined in the .cc (HandlerSink is incomplete here)
+
+  // --- setup (before Start) --------------------------------------------------
+  // Registers an input stream; `sharable_label` marks base-case-2 sharable
+  // sources (same non-negative label).
+  Status RegisterSource(const std::string& name, Schema schema,
+                        int sharable_label = -1);
+  // Adds a logical query (from QueryBuilder / the translator / ...).
+  Status AddQuery(Query query);
+  // Parses and adds one RQL query; `name` overrides the statement name.
+  Status AddQueryText(const std::string& rql, const std::string& name = "");
+  // Parses a ';'-separated RQL script; later statements may reference
+  // earlier ones by name.
+  Status AddScript(const std::string& rql);
+
+  // Called for every query result: (query name, output tuple).
+  using OutputHandler = std::function<void(const std::string&, const Tuple&)>;
+  void SetOutputHandler(OutputHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // Compiles all queries into one plan, runs the m-rule optimizer, and
+  // prepares execution. No queries may be added afterwards.
+  Status Start();
+
+  // --- runtime (after Start) -------------------------------------------------
+  // Pushes one tuple into a source stream (timestamps non-decreasing).
+  Status Push(const std::string& source, const Tuple& tuple);
+
+  // --- observability -----------------------------------------------------------
+  bool started() const { return executor_ != nullptr; }
+  int num_queries() const { return static_cast<int>(queries_.size()); }
+  const OptimizeStats& optimize_stats() const { return stats_; }
+  // Total results delivered per query name.
+  int64_t OutputCount(const std::string& query_name) const;
+  // EXPLAIN-style plan report (includes runtime counters after pushes).
+  std::string Explain() const;
+
+ private:
+  class HandlerSink;
+
+  OptimizerOptions options_;
+  Catalog catalog_;
+  std::vector<Query> queries_;
+  OutputHandler handler_;
+
+  Plan plan_;
+  OptimizeStats stats_;
+  std::unique_ptr<HandlerSink> sink_;
+  std::unique_ptr<Executor> executor_;
+  // Source name -> stream id (resolved at Start).
+  std::vector<std::pair<std::string, StreamId>> source_ids_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_API_STREAM_ENGINE_H_

@@ -1,0 +1,36 @@
+#include "cayuga/automaton.h"
+
+#include "common/hash.h"
+
+namespace rumor {
+
+uint64_t CayugaStage::Signature() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind));
+  h = HashCombine(h, HashBytes(stream));
+  h = HashCombine(h, PredicateSignature(match));
+  h = HashCombine(h, PredicateSignature(rebind));
+  h = HashCombine(h, static_cast<uint64_t>(window));
+  return h;
+}
+
+CayugaAutomaton& CayugaAutomaton::AddStage(CayugaStage stage,
+                                           Schema event_schema) {
+  const Schema& in =
+      stages_.empty() ? start_schema_ : output_schema();
+  input_schemas_.push_back(in);
+  // Both state kinds produce concat(instance, event); µ names the event
+  // part `last.` to mirror the RUMOR Iterate schema.
+  const char* rp = stage.kind == CayugaStateKind::kIterate ? "last." : "r.";
+  Schema out = Schema::Concat(in, event_schema, "l.", rp);
+  event_schemas_.push_back(std::move(event_schema));
+  stages_.push_back(std::move(stage));
+  output_schemas_.push_back(std::move(out));
+  return *this;
+}
+
+const Schema& CayugaAutomaton::output_schema() const {
+  RUMOR_CHECK(!output_schemas_.empty()) << "automaton has no stages";
+  return output_schemas_.back();
+}
+
+}  // namespace rumor

@@ -1,0 +1,102 @@
+// Cayuga-style automata (paper §4.2, [Demers 06/07]) — the baseline event
+// engine RUMOR is evaluated against.
+//
+// An automaton is a linear chain: a *start edge* subscribing to a stream
+// with a predicate θ1 (the forward edge out of the start state), followed by
+// one or more *pattern states*, each subscribing to a stream with a match
+// predicate, an optional rebind predicate (µ states), and a duration bound.
+// The instance entering stage k is the output of stage k-1 (the start edge
+// produces the start event itself, optionally through a schema map).
+//
+// Semantics per state (deterministic variant — identical to the RUMOR
+// SequenceMop/IterateMop contracts, so the two engines are output-equivalent
+// and the comparison of §5.2 is apples-to-apples):
+//  * kSequence: event matching (match ∧ window) emits concat(instance,
+//    event) to the next stage and CONSUMES the instance; non-matching events
+//    leave it; it expires after `window`.
+//  * kIterate: instance state is (entry ⊕ last); a matching event that
+//    satisfies the rebind predicate replaces `last`, emits the updated
+//    concatenation downstream, and keeps the instance; a matching event
+//    failing the rebind predicate kills it; others leave it.
+//
+// This captures exactly the automaton fragment the paper's experiments
+// exercise (Workloads 1-2 and the pattern half of the hybrid queries); the
+// general Cayuga model (arbitrary DAGs, non-deterministic duplication,
+// resubscription) is out of scope and documented in DESIGN.md §7.
+#ifndef RUMOR_CAYUGA_AUTOMATON_H_
+#define RUMOR_CAYUGA_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "expr/expr.h"
+
+namespace rumor {
+
+enum class CayugaStateKind : uint8_t { kSequence, kIterate };
+
+struct CayugaStage {
+  CayugaStateKind kind = CayugaStateKind::kSequence;
+  std::string stream;      // second-input stream of this state
+  // Predicate over (left = instance, right = event). For kIterate the left
+  // side is the (entry ⊕ last) concatenation.
+  ExprPtr match;
+  ExprPtr rebind;          // kIterate only
+  int64_t window = 0;      // event.ts - entry.ts bound; 0 = unbounded
+
+  // Definition signature (identity for prefix merging).
+  uint64_t Signature() const;
+};
+
+class CayugaAutomaton {
+ public:
+  CayugaAutomaton(std::string name, std::string start_stream,
+                  Schema start_schema, ExprPtr start_predicate)
+      : name_(std::move(name)),
+        start_stream_(std::move(start_stream)),
+        start_schema_(std::move(start_schema)),
+        start_predicate_(std::move(start_predicate)) {}
+
+  // Appends a pattern state; `event_schema` is the stage stream's schema.
+  // Returns *this for chaining.
+  CayugaAutomaton& AddStage(CayugaStage stage, Schema event_schema);
+
+  // Resubscription (paper §4.3): instead of firing the query handler, the
+  // automaton's final matches are re-published as events of stream `name`,
+  // which other automata may subscribe to. Cayuga needs this two-automaton
+  // construction for non-left-associative patterns like S1;(S2;S3); RUMOR
+  // plans express them directly (the paper's inlining advantage).
+  CayugaAutomaton& RepublishAs(std::string name) {
+    output_stream_ = std::move(name);
+    return *this;
+  }
+  const std::string& output_stream() const { return output_stream_; }
+
+  const std::string& name() const { return name_; }
+  const std::string& start_stream() const { return start_stream_; }
+  const Schema& start_schema() const { return start_schema_; }
+  const ExprPtr& start_predicate() const { return start_predicate_; }
+  int num_stages() const { return static_cast<int>(stages_.size()); }
+  const CayugaStage& stage(int i) const { return stages_[i]; }
+  const Schema& stage_event_schema(int i) const { return event_schemas_[i]; }
+  // Instance schema entering stage i (output schema of stage i-1).
+  const Schema& stage_input_schema(int i) const { return input_schemas_[i]; }
+  // Schema of the automaton's final output.
+  const Schema& output_schema() const;
+
+ private:
+  std::string name_;
+  std::string start_stream_;
+  Schema start_schema_;
+  ExprPtr start_predicate_;
+  std::string output_stream_;  // empty = deliver to the query handler
+  std::vector<CayugaStage> stages_;
+  std::vector<Schema> event_schemas_;
+  std::vector<Schema> input_schemas_;
+  std::vector<Schema> output_schemas_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_CAYUGA_AUTOMATON_H_

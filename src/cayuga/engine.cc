@@ -1,0 +1,264 @@
+#include "cayuga/engine.h"
+
+#include "common/hash.h"
+
+namespace rumor {
+
+CayugaEngine::CayugaEngine(Options options) : options_(options) {}
+
+int CayugaEngine::InternStream(const std::string& name) {
+  for (size_t i = 0; i < stream_names_.size(); ++i) {
+    if (stream_names_[i] == name) return static_cast<int>(i);
+  }
+  stream_names_.push_back(name);
+  tables_.emplace_back();
+  return static_cast<int>(stream_names_.size()) - 1;
+}
+
+size_t CayugaEngine::live_instances() const {
+  size_t n = 0;
+  for (const Node& node : nodes_) n += node.instances.live_size();
+  return n;
+}
+
+namespace {
+
+// Identity of the whole automaton: start edge + every stage definition +
+// schemas. Two automata share state only when these match — the plan-level
+// CSE granularity (s;/sµ), which keeps instance consumption sound across
+// queries (see DESIGN.md §7) and mirrors what the RUMOR side shares.
+uint64_t AutomatonSignature(const CayugaAutomaton& a) {
+  uint64_t sig = Mix64(HashBytes(a.start_stream()));
+  sig = HashCombine(sig, PredicateSignature(a.start_predicate()));
+  sig = HashCombine(sig, a.start_schema().Signature());
+  // Republishing automata must not share final states with handler-bound
+  // ones.
+  sig = HashCombine(sig, HashBytes(a.output_stream()));
+  for (int k = 0; k < a.num_stages(); ++k) {
+    sig = HashCombine(sig, a.stage(k).Signature());
+    sig = HashCombine(sig, a.stage_event_schema(k).Signature());
+  }
+  return sig;
+}
+
+}  // namespace
+
+int CayugaEngine::FindOrCreateNode(const CayugaAutomaton& a, int stage_index,
+                                   int target) {
+  const CayugaStage& stage = a.stage(stage_index);
+  uint64_t sig = HashCombine(Mix64(AutomatonSignature(a)),
+                             static_cast<uint64_t>(stage_index) + 0x51ed);
+  if (!options_.merge_prefixes) {
+    // Unique salt defeats sharing (ablation mode).
+    sig = HashCombine(sig, nodes_.size() + 1);
+  }
+  auto it = node_registry_.find(sig);
+  if (it != node_registry_.end()) return it->second;
+
+  Node node;
+  node.kind = stage.kind;
+  node.stream = InternStream(stage.stream);
+  node.window = stage.window;
+  node.match = Program::Compile(stage.match);
+  node.rebind = Program::Compile(stage.rebind);
+  node.shape = AnalyzeJoin(stage.match);
+  // AN candidate: an event-side const equality in the non-equi residual.
+  SelectionShape an =
+      AnalyzeSelectionOnSide(stage.match, Side::kRight);
+  node.an_eq = an.equality;
+  node.left_size = a.stage_input_schema(stage_index).size();
+  node.right_size = a.stage_event_schema(stage_index).size();
+  node.target = target;
+  node.signature = sig;
+  node.instances =
+      KeyedBuffer<Instance>(options_.ai_index && !node.shape.equi.empty());
+
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  node_registry_[sig] = id;
+
+  StreamTable& table = tables_[nodes_[id].stream];
+  if (options_.an_index && nodes_[id].an_eq.has_value()) {
+    table.an_index[nodes_[id].an_eq->attr][nodes_[id].an_eq->constant]
+        .push_back(id);
+  } else {
+    table.scan_nodes.push_back(id);
+  }
+  return id;
+}
+
+int CayugaEngine::AddAutomaton(const CayugaAutomaton& a) {
+  RUMOR_CHECK(a.num_stages() >= 1) << "automaton needs >= 1 pattern state";
+  const int query_id = num_queries_++;
+
+  // Build the chain back to front; identical automata resolve to the same
+  // nodes (state merging, Fig. 7/8) and identical queries accumulate on the
+  // final node.
+  int target = -1;
+  for (int k = a.num_stages() - 1; k >= 0; --k) {
+    target = FindOrCreateNode(a, k, target);
+    if (k == a.num_stages() - 1) {
+      if (a.output_stream().empty()) {
+        nodes_[target].queries.push_back(query_id);
+      } else {
+        // Resubscription: final matches re-enter as events (paper §4.3).
+        nodes_[target].republish_stream = InternStream(a.output_stream());
+      }
+    }
+  }
+
+  // Start edge.
+  StartEdge edge;
+  edge.stream = InternStream(a.start_stream());
+  edge.predicate = Program::Compile(a.start_predicate());
+  SelectionShape shape = AnalyzeSelection(a.start_predicate());
+  edge.eq = shape.equality;
+  edge.target = target;
+  edge.signature = HashCombine(Mix64(0xed6e), AutomatonSignature(a));
+  if (!options_.merge_prefixes) {
+    edge.signature = HashCombine(edge.signature, start_edges_.size() + 1);
+  }
+  if (auto it = start_edge_registry_.find(edge.signature);
+      it != start_edge_registry_.end()) {
+    return query_id;  // fully shared with an existing automaton
+  }
+  int edge_id = static_cast<int>(start_edges_.size());
+  start_edges_.push_back(std::move(edge));
+  start_edge_registry_[start_edges_[edge_id].signature] = edge_id;
+
+  StreamTable& table = tables_[start_edges_[edge_id].stream];
+  if (options_.fr_index && start_edges_[edge_id].eq.has_value()) {
+    table.fr_index[start_edges_[edge_id].eq->attr]
+                  [start_edges_[edge_id].eq->constant]
+                      .push_back(edge_id);
+  } else {
+    table.scan_start_edges.push_back(edge_id);
+  }
+  return query_id;
+}
+
+void CayugaEngine::EnterNode(int node_id, const Tuple& state, Timestamp ts) {
+  Node& node = nodes_[node_id];
+  Tuple instance_state = state;
+  if (node.kind == CayugaStateKind::kIterate) {
+    // (entry ⊕ last), last initialised from the entry when arities match.
+    std::vector<Value> values;
+    values.reserve(node.left_size + node.right_size);
+    values.insert(values.end(), state.values().begin(),
+                  state.values().end());
+    if (node.right_size == node.left_size) {
+      values.insert(values.end(), state.values().begin(),
+                    state.values().end());
+    } else {
+      values.insert(values.end(), node.right_size, Value());
+    }
+    instance_state = Tuple::Make(std::move(values), ts);
+  }
+  Value key;
+  if (node.instances.indexed()) {
+    key = instance_state.at(node.shape.equi[0].left_attr);
+  }
+  node.instances.Add(Instance{std::move(instance_state)}, key, ts);
+  ++stats_.instances_created;
+}
+
+void CayugaEngine::AdvanceInstance(Node& node, const Tuple& output) {
+  if (node.target == -1) {
+    if (node.republish_stream >= 0) {
+      // Resubscription: matches become events of the intermediate stream.
+      // Strict temporal ordering (instances only match strictly later
+      // events) keeps the recursion acyclic.
+      DispatchEvent(node.republish_stream, output);
+      return;
+    }
+    ++stats_.outputs;
+    if (handler_) {
+      for (int q : node.queries) handler_(q, output);
+    }
+    return;
+  }
+  EnterNode(node.target, output, output.ts());
+}
+
+void CayugaEngine::ProcessNode(int node_id, const Tuple& event) {
+  Node& node = nodes_[node_id];
+  if (node.window > 0) {
+    node.instances.ExpireBefore(event.ts() - node.window);
+  }
+  if (node.instances.live_size() == 0) return;  // active-state check
+  Value key;
+  const Value* key_ptr = nullptr;
+  if (node.instances.indexed()) {
+    key = event.at(node.shape.equi[0].right_attr);
+    key_ptr = &key;
+  }
+  node.instances.ForCandidates(key_ptr, [&](int64_t abs, auto& slot) {
+    Instance& inst = slot.item;
+    if (slot.ts >= event.ts()) return;  // strict temporal order
+    ExprContext ctx{&inst.state, &event};
+    if (!node.match.EvalBool(ctx)) return;
+    if (node.kind == CayugaStateKind::kSequence) {
+      Tuple output = ConcatTuples(inst.state, event, event.ts());
+      node.instances.Kill(abs);  // consume-on-match
+      AdvanceInstance(node, output);
+      return;
+    }
+    // kIterate.
+    if (!node.rebind.EvalBool(ctx)) {
+      node.instances.Kill(abs);  // run broken
+      return;
+    }
+    std::vector<Value> values;
+    values.reserve(node.left_size + node.right_size);
+    for (int k = 0; k < node.left_size; ++k) {
+      values.push_back(inst.state.at(k));
+    }
+    values.insert(values.end(), event.values().begin(),
+                  event.values().end());
+    Tuple updated = Tuple::Make(std::move(values), event.ts());
+    AdvanceInstance(node, updated);
+    inst.state = std::move(updated);
+  });
+}
+
+void CayugaEngine::OnEvent(const std::string& stream, const Tuple& event) {
+  ++stats_.events;
+  int sid = -1;
+  for (size_t i = 0; i < stream_names_.size(); ++i) {
+    if (stream_names_[i] == stream) {
+      sid = static_cast<int>(i);
+      break;
+    }
+  }
+  if (sid < 0) return;  // stream with no subscribers
+  DispatchEvent(sid, event);
+}
+
+void CayugaEngine::DispatchEvent(int sid, const Tuple& event) {
+  StreamTable& table = tables_[sid];
+
+  // Pattern states first (an event cannot match an instance it creates —
+  // strict temporal order makes the order immaterial, but this mirrors the
+  // push order of the RUMOR executor).
+  for (auto& [attr, by_const] : table.an_index) {
+    auto it = by_const.find(event.at(attr));
+    if (it == by_const.end()) continue;
+    for (int node_id : it->second) ProcessNode(node_id, event);
+  }
+  for (int node_id : table.scan_nodes) ProcessNode(node_id, event);
+
+  // Start edges (FR index + sequential rest).
+  auto fire = [&](const StartEdge& edge) {
+    ExprContext ctx{&event, nullptr};
+    if (!edge.predicate.EvalBool(ctx)) return;
+    EnterNode(edge.target, event, event.ts());
+  };
+  for (auto& [attr, by_const] : table.fr_index) {
+    auto it = by_const.find(event.at(attr));
+    if (it == by_const.end()) continue;
+    for (int edge_id : it->second) fire(start_edges_[edge_id]);
+  }
+  for (int edge_id : table.scan_start_edges) fire(start_edges_[edge_id]);
+}
+
+}  // namespace rumor

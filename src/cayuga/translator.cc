@@ -1,0 +1,29 @@
+#include "cayuga/translator.h"
+
+namespace rumor {
+
+Query TranslateAutomaton(const CayugaAutomaton& a) {
+  // Start state: source + forward-edge selection (Fig. 5: q1 -> σθ1).
+  QueryNodePtr node =
+      QueryNode::Source(a.start_stream(), a.start_schema());
+  if (a.start_predicate() != nullptr) {
+    node = QueryNode::Select(node, a.start_predicate());
+  }
+
+  // Each pattern state becomes a ; or µ operator reading the previous
+  // stage's output and the state's input stream.
+  for (int k = 0; k < a.num_stages(); ++k) {
+    const CayugaStage& stage = a.stage(k);
+    QueryNodePtr event =
+        QueryNode::Source(stage.stream, a.stage_event_schema(k));
+    if (stage.kind == CayugaStateKind::kSequence) {
+      node = QueryNode::Sequence(node, event, stage.match, stage.window);
+    } else {
+      node = QueryNode::IterateSplit(node, event, stage.match, stage.rebind,
+                                     stage.window);
+    }
+  }
+  return Query{a.name(), node};
+}
+
+}  // namespace rumor

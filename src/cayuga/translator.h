@@ -1,0 +1,28 @@
+// Automaton → query-plan translation (paper §4.2, Fig. 5): the bridge that
+// lets RUMOR optimize event-engine queries with the same m-rules as
+// relational ones.
+//
+//   * the start state's forward edge (θ1, F1) becomes σθ1 (and πF1 when a
+//     schema map is present — our automata use identity maps);
+//   * a state with a filter edge but no rebind edge becomes a ; operator;
+//   * a state with filter and rebind edges becomes a µ operator;
+//   * the final forward edge's output stream is the query's output.
+//
+// The translated Query then flows through the ordinary pipeline:
+// CompileQueries → Optimize (where sσ reproduces the FR/AN indexes, the
+// hash-keyed instance stores reproduce the AI index, and CSE reproduces
+// prefix state merging).
+#ifndef RUMOR_CAYUGA_TRANSLATOR_H_
+#define RUMOR_CAYUGA_TRANSLATOR_H_
+
+#include "cayuga/automaton.h"
+#include "query/query.h"
+
+namespace rumor {
+
+// Translates `automaton` into a logical RUMOR query.
+Query TranslateAutomaton(const CayugaAutomaton& automaton);
+
+}  // namespace rumor
+
+#endif  // RUMOR_CAYUGA_TRANSLATOR_H_

@@ -1,0 +1,80 @@
+#include "common/bitvector.h"
+
+#include <sstream>
+
+namespace rumor {
+
+bool BitVector::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+int BitVector::Count() const {
+  int n = 0;
+  for (uint64_t w : words_) n += __builtin_popcountll(w);
+  return n;
+}
+
+bool BitVector::Contains(const BitVector& other) const {
+  RUMOR_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::Intersects(const BitVector& other) const {
+  RUMOR_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) {
+  RUMOR_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) {
+  RUMOR_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::Subtract(const BitVector& other) {
+  RUMOR_DCHECK(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::vector<int> BitVector::ToIndexes() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEach([&out](int i) { out.push_back(i); });
+  return out;
+}
+
+uint64_t BitVector::Hash() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(size_));
+  for (uint64_t w : words_) h = HashCombine(h, w);
+  return h;
+}
+
+std::string BitVector::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  ForEach([&](int i) {
+    if (!first) os << ",";
+    os << i;
+    first = false;
+  });
+  os << "}";
+  return os.str();
+}
+
+}  // namespace rumor

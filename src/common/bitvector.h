@@ -1,0 +1,126 @@
+// BitVector: dynamic bitset used for channel membership components (paper
+// §3.1: "the membership component is implemented by a bit vector").
+#ifndef RUMOR_COMMON_BITVECTOR_H_
+#define RUMOR_COMMON_BITVECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rumor {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  // All-zero vector with `size` addressable bits.
+  explicit BitVector(int size) : size_(size), words_((size + 63) / 64, 0) {}
+
+  // Vector with exactly bit `index` set, sized to hold it.
+  static BitVector Singleton(int index, int size) {
+    BitVector bv(size);
+    bv.Set(index);
+    return bv;
+  }
+  // All-ones vector of `size` bits.
+  static BitVector AllOnes(int size) {
+    BitVector bv(size);
+    for (int w = 0; w < static_cast<int>(bv.words_.size()); ++w) {
+      bv.words_[w] = ~0ull;
+    }
+    bv.ClearPadding();
+    return bv;
+  }
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Set(int i) {
+    RUMOR_DCHECK(i >= 0 && i < size_);
+    words_[i >> 6] |= 1ull << (i & 63);
+  }
+  void Reset(int i) {
+    RUMOR_DCHECK(i >= 0 && i < size_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+  bool Test(int i) const {
+    RUMOR_DCHECK(i >= 0 && i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // True if any bit is set.
+  bool Any() const;
+  // True if no bit is set.
+  bool None() const { return !Any(); }
+  // Number of set bits.
+  int Count() const;
+  // True if every set bit of `other` is also set here.
+  bool Contains(const BitVector& other) const;
+  // True if the intersection is non-empty.
+  bool Intersects(const BitVector& other) const;
+
+  // In-place boolean algebra; operands must have equal size.
+  BitVector& operator&=(const BitVector& other);
+  BitVector& operator|=(const BitVector& other);
+  // Clears bits set in `other` (set difference).
+  BitVector& Subtract(const BitVector& other);
+
+  friend BitVector operator&(BitVector a, const BitVector& b) {
+    a &= b;
+    return a;
+  }
+  friend BitVector operator|(BitVector a, const BitVector& b) {
+    a |= b;
+    return a;
+  }
+
+  // Calls `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits) {
+        int bit = __builtin_ctzll(bits);
+        fn(static_cast<int>(w * 64 + bit));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  // Indices of all set bits.
+  std::vector<int> ToIndexes() const;
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const BitVector& other) const { return !(*this == other); }
+
+  // Hash consistent with operator==; usable as a fragment key (shared
+  // fragment aggregation keys state by membership set).
+  uint64_t Hash() const;
+
+  // e.g. "{0,3,7}".
+  std::string ToString() const;
+
+ private:
+  void ClearPadding() {
+    int tail = size_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (1ull << tail) - 1;
+    }
+  }
+
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rumor
+
+template <>
+struct std::hash<rumor::BitVector> {
+  size_t operator()(const rumor::BitVector& b) const { return b.Hash(); }
+};
+
+#endif  // RUMOR_COMMON_BITVECTOR_H_

@@ -1,0 +1,37 @@
+// Hash helpers shared across the library (value hashing, structural
+// signatures for the sharable-stream analysis, channel fragment keys).
+#ifndef RUMOR_COMMON_HASH_H_
+#define RUMOR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rumor {
+
+// 64-bit mix (splitmix64 finalizer); good avalanche for cheap keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Combines a new 64-bit value into a running hash seed.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+// FNV-1a over a byte string; used for hashing names in signatures.
+inline uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_HASH_H_

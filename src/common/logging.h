@@ -1,0 +1,58 @@
+// Minimal CHECK/LOG facility. The library is exception-free on hot paths;
+// invariant violations abort with a source location and message.
+#ifndef RUMOR_COMMON_LOGGING_H_
+#define RUMOR_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rumor {
+namespace internal_logging {
+
+// Accumulates a message and aborts the process when destroyed.
+// Used only via the RUMOR_CHECK* macros below.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  [[noreturn]] ~FatalMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace rumor
+
+// Aborts with a diagnostic when `condition` is false. Additional context can
+// be streamed: RUMOR_CHECK(n > 0) << "n was " << n;
+#define RUMOR_CHECK(condition)                                      \
+  if (!(condition))                                                 \
+  ::rumor::internal_logging::FatalMessage(__FILE__, __LINE__,       \
+                                          #condition)               \
+      .stream()
+
+#define RUMOR_CHECK_EQ(a, b) RUMOR_CHECK((a) == (b))
+#define RUMOR_CHECK_NE(a, b) RUMOR_CHECK((a) != (b))
+#define RUMOR_CHECK_LT(a, b) RUMOR_CHECK((a) < (b))
+#define RUMOR_CHECK_LE(a, b) RUMOR_CHECK((a) <= (b))
+#define RUMOR_CHECK_GT(a, b) RUMOR_CHECK((a) > (b))
+#define RUMOR_CHECK_GE(a, b) RUMOR_CHECK((a) >= (b))
+
+// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define RUMOR_DCHECK(condition) RUMOR_CHECK(true || (condition))
+#else
+#define RUMOR_DCHECK(condition) RUMOR_CHECK(condition)
+#endif
+
+#endif  // RUMOR_COMMON_LOGGING_H_

@@ -1,0 +1,77 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace rumor {
+
+namespace {
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the state with splitmix64 as recommended by the xoshiro authors.
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ull;
+    s = Mix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  RUMOR_DCHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+ZipfGenerator::ZipfGenerator(int64_t n, double z) : n_(n), z_(z) {
+  RUMOR_CHECK(n >= 1) << "Zipf domain must be non-empty";
+  RUMOR_CHECK(z > 0.0) << "Zipf parameter must be positive";
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), z);
+    cdf_[k - 1] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+int64_t ZipfGenerator::SampleRank(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  int64_t rank = (it - cdf_.begin()) + 1;
+  return std::min(rank, n_);
+}
+
+int64_t ZipfGenerator::Sample(Rng& rng) const {
+  return n_ + 1 - SampleRank(rng);
+}
+
+}  // namespace rumor

@@ -1,0 +1,62 @@
+// Deterministic random number generation for workloads and property tests.
+// All experiments are reproducible from a 64-bit seed.
+//
+// The Zipf sampler implements the paper's §5.1 convention: values are drawn
+// from {1..n} with a Zipf(z) rank distribution *favouring large values*
+// ("a window of length 1000 is most likely to be chosen"), i.e. the most
+// probable value is n, the second most probable n-1, and so on.
+#ifndef RUMOR_COMMON_RNG_H_
+#define RUMOR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rumor {
+
+// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  // Uniform double in [0, 1).
+  double UniformDouble();
+  // Bernoulli with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipf sampler over {1..n}, P(rank k) ∝ 1/k^z. `Sample` maps rank k to the
+// value n+1-k so rank 1 (most likely) yields the largest value, matching the
+// paper's workload generator. Sampling is O(log n) by binary search over the
+// precomputed CDF; construction is O(n).
+class ZipfGenerator {
+ public:
+  // `n` ≥ 1 is the domain size, `z` > 0 the skew ("Zipfian parameter",
+  // default 1.5 in Table 3).
+  ZipfGenerator(int64_t n, double z);
+
+  // A value in [1, n], biased toward n.
+  int64_t Sample(Rng& rng) const;
+  // A value in [1, n], biased toward 1 (plain Zipf by rank).
+  int64_t SampleRank(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  int64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_RNG_H_

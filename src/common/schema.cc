@@ -1,0 +1,61 @@
+#include "common/schema.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace rumor {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+Schema Schema::MakeInts(int n, const std::string& prefix) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    attrs.push_back({prefix + std::to_string(i), ValueType::kInt});
+  }
+  return Schema(std::move(attrs));
+}
+
+std::optional<int> Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& lp, const std::string& rp) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(left.size() + right.size());
+  for (const Attribute& a : left.attributes()) {
+    attrs.push_back({lp + a.name, a.type});
+  }
+  for (const Attribute& a : right.attributes()) {
+    attrs.push_back({rp + a.name, a.type});
+  }
+  return Schema(std::move(attrs));
+}
+
+uint64_t Schema::Signature() const {
+  uint64_t h = Mix64(attributes_.size());
+  for (const Attribute& a : attributes_) {
+    h = HashCombine(h, HashBytes(a.name));
+    h = HashCombine(h, static_cast<uint64_t>(a.type));
+  }
+  return h;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes_[i].name << ":" << ValueTypeName(attributes_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace rumor

@@ -1,0 +1,71 @@
+// Schema: ordered list of named, typed attributes. Every stream and channel
+// has a schema; the timestamp is carried separately on the tuple (the paper's
+// required `ts` attribute) and is not part of the schema.
+#ifndef RUMOR_COMMON_SCHEMA_H_
+#define RUMOR_COMMON_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace rumor {
+
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+// Immutable-by-convention attribute list with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  // Convenience: n int attributes named `prefix0..prefix{n-1}` (the paper's
+  // synthetic schema uses a0..a9).
+  static Schema MakeInts(int n, const std::string& prefix = "a");
+
+  int size() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Index of attribute `name`, or nullopt.
+  std::optional<int> IndexOf(const std::string& name) const;
+
+  // True if both schemas have identical attribute lists. Channels require
+  // union-compatible (here: identical) schemas; the paper's padding/renaming
+  // step is performed by SchemaMap projections before channel formation.
+  bool CompatibleWith(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  // Schema of the concatenation used by join/sequence results: attributes of
+  // `left` prefixed with `lp`, then attributes of `right` prefixed with `rp`.
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& lp = "l.",
+                       const std::string& rp = "r.");
+
+  // Structural 64-bit signature (names + types, order-sensitive).
+  uint64_t Signature() const;
+
+  // e.g. "(a0:int, a1:int)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_SCHEMA_H_

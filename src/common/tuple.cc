@@ -1,0 +1,53 @@
+#include "common/tuple.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace rumor {
+
+Tuple Tuple::MakeInts(const std::vector<int64_t>& ints, Timestamp ts) {
+  std::vector<Value> values;
+  values.reserve(ints.size());
+  for (int64_t v : ints) values.emplace_back(v);
+  return Make(std::move(values), ts);
+}
+
+bool Tuple::ContentEquals(const Tuple& other) const {
+  if (ts_ != other.ts_) return false;
+  if (payload_ == other.payload_) return true;
+  if (!payload_ || !other.payload_) return false;
+  return *payload_ == *other.payload_;
+}
+
+uint64_t Tuple::ContentHash() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(ts_));
+  if (payload_) {
+    for (const Value& v : *payload_) h = HashCombine(h, v.Hash());
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "[ts=" << ts_ << "|";
+  for (int i = 0; i < size(); ++i) {
+    os << (i ? ", " : " ") << at(i).ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+Tuple ConcatTuples(const Tuple& left, const Tuple& right, Timestamp ts) {
+  std::vector<Value> values;
+  values.reserve(left.size() + right.size());
+  if (!left.empty()) {
+    values.insert(values.end(), left.values().begin(), left.values().end());
+  }
+  if (!right.empty()) {
+    values.insert(values.end(), right.values().begin(), right.values().end());
+  }
+  return Tuple::Make(std::move(values), ts);
+}
+
+}  // namespace rumor

@@ -1,0 +1,77 @@
+// Tuple: an immutable, cheaply-copyable stream tuple — a shared payload of
+// attribute values plus a timestamp. Sharing the payload is what makes
+// channel encoding pay off space-wise: one payload can represent the "same"
+// tuple on many streams.
+#ifndef RUMOR_COMMON_TUPLE_H_
+#define RUMOR_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace rumor {
+
+using Timestamp = int64_t;
+
+// Shared, immutable attribute storage.
+using TuplePayload = std::shared_ptr<const std::vector<Value>>;
+
+class Tuple {
+ public:
+  Tuple() : ts_(0) {}
+  Tuple(TuplePayload payload, Timestamp ts)
+      : payload_(std::move(payload)), ts_(ts) {}
+
+  // Builds a tuple owning a fresh payload.
+  static Tuple Make(std::vector<Value> values, Timestamp ts) {
+    return Tuple(std::make_shared<const std::vector<Value>>(std::move(values)),
+                 ts);
+  }
+  // Convenience for all-int payloads (the benchmark schema).
+  static Tuple MakeInts(const std::vector<int64_t>& ints, Timestamp ts);
+
+  Timestamp ts() const { return ts_; }
+  int size() const {
+    return payload_ ? static_cast<int>(payload_->size()) : 0;
+  }
+  const Value& at(int i) const {
+    RUMOR_DCHECK(payload_ && i >= 0 && i < size()) << "index " << i;
+    return (*payload_)[i];
+  }
+  const std::vector<Value>& values() const {
+    RUMOR_DCHECK(payload_ != nullptr);
+    return *payload_;
+  }
+  const TuplePayload& payload() const { return payload_; }
+  bool empty() const { return payload_ == nullptr; }
+
+  // Returns a tuple with the same payload but a new timestamp.
+  Tuple WithTimestamp(Timestamp ts) const { return Tuple(payload_, ts); }
+
+  // Content equality: same timestamp and same attribute values.
+  bool ContentEquals(const Tuple& other) const;
+
+  // Hash of (ts, values); consistent with ContentEquals.
+  uint64_t ContentHash() const;
+
+  // e.g. "[ts=3| 1, 2, "x"]".
+  std::string ToString() const;
+
+ private:
+  TuplePayload payload_;
+  Timestamp ts_;
+};
+
+// Concatenates left and right payloads (join/sequence result content).
+// The result timestamp is `ts` (callers pass max(l.ts, r.ts) per the
+// documented operator semantics).
+Tuple ConcatTuples(const Tuple& left, const Tuple& right, Timestamp ts);
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_TUPLE_H_

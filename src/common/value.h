@@ -1,0 +1,118 @@
+// Value: the dynamically-typed attribute value used in stream tuples.
+// The benchmark workloads of the paper use integer attributes only, but the
+// library supports int64, double, and string attributes so realistic
+// monitoring schemas (process names, counter labels) can be expressed.
+#ifndef RUMOR_COMMON_VALUE_H_
+#define RUMOR_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace rumor {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kBool = 4,
+};
+
+// Returns the lowercase name of a type ("int", "double", ...).
+const char* ValueTypeName(ValueType type);
+
+// A small tagged union. Ints/doubles/bools are stored inline; strings use
+// std::string. Values are totally ordered within a type; cross-type numeric
+// comparisons (int vs double) promote to double, everything else compares by
+// type tag first (a stable, documented order used by test oracles).
+class Value {
+ public:
+  Value() : type_(ValueType::kNull), int_(0) {}
+  explicit Value(int64_t v) : type_(ValueType::kInt), int_(v) {}
+  explicit Value(int v) : type_(ValueType::kInt), int_(v) {}
+  explicit Value(double v) : type_(ValueType::kDouble), double_(v) {}
+  explicit Value(bool v) : type_(ValueType::kBool), bool_(v) {}
+  explicit Value(std::string v)
+      : type_(ValueType::kString), int_(0), string_(std::move(v)) {}
+  explicit Value(const char* v)
+      : type_(ValueType::kString), int_(0), string_(v) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
+
+  int64_t AsInt() const {
+    RUMOR_DCHECK(type_ == ValueType::kInt) << "not an int";
+    return int_;
+  }
+  double AsDouble() const {
+    RUMOR_DCHECK(type_ == ValueType::kDouble) << "not a double";
+    return double_;
+  }
+  bool AsBool() const {
+    RUMOR_DCHECK(type_ == ValueType::kBool) << "not a bool";
+    return bool_;
+  }
+  const std::string& AsString() const {
+    RUMOR_DCHECK(type_ == ValueType::kString) << "not a string";
+    return string_;
+  }
+
+  // Numeric view: int/double/bool coerced to double; CHECKs otherwise.
+  double ToNumeric() const;
+
+  // True if the value is numeric (int, double, or bool).
+  bool IsNumeric() const {
+    return type_ == ValueType::kInt || type_ == ValueType::kDouble ||
+           type_ == ValueType::kBool;
+  }
+
+  // Total order across all values; see class comment for cross-type rules.
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  // Stable 64-bit hash consistent with operator== (numeric values that
+  // compare equal hash equal).
+  uint64_t Hash() const;
+
+  // Human-readable rendering, e.g. `42`, `3.5`, `"foo"`, `null`.
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  union {
+    int64_t int_;
+    double double_;
+    bool bool_;
+  };
+  std::string string_;  // engaged only for kString
+};
+
+// Arithmetic on values with numeric promotion. Integer op integer stays
+// integer (division by zero CHECKs); any double operand promotes to double.
+Value ValueAdd(const Value& a, const Value& b);
+Value ValueSub(const Value& a, const Value& b);
+Value ValueMul(const Value& a, const Value& b);
+Value ValueDiv(const Value& a, const Value& b);
+Value ValueMod(const Value& a, const Value& b);
+
+}  // namespace rumor
+
+template <>
+struct std::hash<rumor::Value> {
+  size_t operator()(const rumor::Value& v) const { return v.Hash(); }
+};
+
+#endif  // RUMOR_COMMON_VALUE_H_

@@ -1,0 +1,83 @@
+// Textual expression syntax + the lexer shared with the RQL query parser.
+//
+//   expr  := or ;  or := and (OR and)* ;  and := unary (AND unary)*
+//   unary := NOT unary | cmp
+//   cmp   := add ((= | != | < | <= | > | >=) add)?
+//   add   := mul ((+|-) mul)* ;  mul := atom ((*|/|%) atom)*
+//   atom  := int | float | 'string' | TRUE | FALSE | '(' expr ')' | ref
+//   ref   := [qualifier '.'] attr        (attr may be `ts`)
+//
+// Qualifiers resolve through ExprParseContext aliases, e.g. `S.a0 = T.a0`
+// with S aliased to the left side and T to the right, or `last.a1 < a1` in a
+// µ rebind predicate (`last` = left = the partial match instance). Bare
+// names resolve against the left schema first, then the right.
+#ifndef RUMOR_EXPR_PARSER_EXPR_H_
+#define RUMOR_EXPR_PARSER_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace rumor {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kSymbol,  // one of ( ) , . = != < <= > >= + - * / % ; [ ]
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier / symbol spelling / string body
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int position = 0;     // byte offset, for error messages
+};
+
+// Splits `text` into tokens; returns InvalidArgument on bad characters or
+// unterminated strings.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+// A named view into one side's schema with an attribute-index offset.
+// Offsets support composite tuples: a µ instance is the concatenation of the
+// start event and the last event, so the alias `last` binds to the right-hand
+// part of the instance via offset = |start schema|.
+struct ExprBinding {
+  std::string alias;  // case-insensitive qualifier, e.g. "S", "T", "last"
+  Side side = Side::kLeft;
+  const Schema* schema = nullptr;
+  int offset = 0;  // added to resolved attribute indexes
+};
+
+// Name-resolution context for expression parsing. Either set `bindings`
+// explicitly, or use the simple left/right fields (which are translated into
+// bindings internally). Bare names resolve against bindings in order.
+struct ExprParseContext {
+  const Schema* left = nullptr;
+  const Schema* right = nullptr;
+  std::vector<std::string> left_aliases;   // case-insensitive
+  std::vector<std::string> right_aliases;
+  std::vector<ExprBinding> bindings;  // when non-empty, takes precedence
+
+  // The effective binding list (explicit bindings, or derived from
+  // left/right).
+  std::vector<ExprBinding> EffectiveBindings() const;
+};
+
+// Parses a complete expression (entire string must be consumed).
+Result<ExprPtr> ParseExpr(const std::string& text,
+                          const ExprParseContext& ctx);
+
+// Parses an expression from a token stream starting at *pos; leaves *pos at
+// the first unconsumed token. Used by the query parser.
+Result<ExprPtr> ParseExprTokens(const std::vector<Token>& tokens, size_t* pos,
+                                const ExprParseContext& ctx);
+
+}  // namespace rumor
+
+#endif  // RUMOR_EXPR_PARSER_EXPR_H_

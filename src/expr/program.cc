@@ -1,0 +1,186 @@
+#include "expr/program.h"
+
+#include <sstream>
+
+namespace rumor {
+
+Program Program::Compile(const ExprPtr& expr) {
+  Program p;
+  if (expr == nullptr) {
+    p.constants_.push_back(Value(true));
+    p.code_.push_back({OpCode::kPushConst, Side::kLeft, 0});
+  } else {
+    p.Emit(expr);
+  }
+  p.stack_.reserve(16);
+  return p;
+}
+
+void Program::Emit(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kConst: {
+      constants_.push_back(e->const_value());
+      code_.push_back({OpCode::kPushConst, Side::kLeft,
+                       static_cast<int32_t>(constants_.size() - 1)});
+      return;
+    }
+    case ExprKind::kAttr:
+      code_.push_back({OpCode::kPushAttr, e->side(),
+                       static_cast<int32_t>(e->attr_index())});
+      return;
+    case ExprKind::kTs:
+      code_.push_back({OpCode::kPushTs, e->side(), 0});
+      return;
+    case ExprKind::kArith: {
+      Emit(e->child(0));
+      Emit(e->child(1));
+      OpCode op = OpCode::kAdd;
+      switch (e->arith_op()) {
+        case ArithOp::kAdd: op = OpCode::kAdd; break;
+        case ArithOp::kSub: op = OpCode::kSub; break;
+        case ArithOp::kMul: op = OpCode::kMul; break;
+        case ArithOp::kDiv: op = OpCode::kDiv; break;
+        case ArithOp::kMod: op = OpCode::kMod; break;
+      }
+      code_.push_back({op, Side::kLeft, 0});
+      return;
+    }
+    case ExprKind::kCmp: {
+      Emit(e->child(0));
+      Emit(e->child(1));
+      OpCode op = OpCode::kAdd;
+      switch (e->cmp_op()) {
+        case CmpOp::kEq: op = OpCode::kEq; break;
+        case CmpOp::kNe: op = OpCode::kNe; break;
+        case CmpOp::kLt: op = OpCode::kLt; break;
+        case CmpOp::kLe: op = OpCode::kLe; break;
+        case CmpOp::kGt: op = OpCode::kGt; break;
+        case CmpOp::kGe: op = OpCode::kGe; break;
+      }
+      code_.push_back({op, Side::kLeft, 0});
+      return;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      Emit(e->child(0));
+      OpCode jmp = e->kind() == ExprKind::kAnd ? OpCode::kJumpIfFalsePeek
+                                               : OpCode::kJumpIfTruePeek;
+      size_t patch = code_.size();
+      code_.push_back({jmp, Side::kLeft, 0});
+      Emit(e->child(1));
+      code_[patch].arg = static_cast<int32_t>(code_.size());
+      return;
+    }
+    case ExprKind::kNot:
+      Emit(e->child(0));
+      code_.push_back({OpCode::kNot, Side::kLeft, 0});
+      return;
+  }
+}
+
+Value Program::Eval(const ExprContext& ctx) const {
+  std::vector<Value>& st = stack_;
+  st.clear();
+  size_t pc = 0;
+  const size_t n = code_.size();
+  while (pc < n) {
+    const Instruction& ins = code_[pc];
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        st.push_back(constants_[ins.arg]);
+        ++pc;
+        break;
+      case OpCode::kPushAttr: {
+        const Tuple* t = ins.side == Side::kLeft ? ctx.left : ctx.right;
+        RUMOR_DCHECK(t != nullptr);
+        st.push_back(t->at(ins.arg));
+        ++pc;
+        break;
+      }
+      case OpCode::kPushTs: {
+        const Tuple* t = ins.side == Side::kLeft ? ctx.left : ctx.right;
+        RUMOR_DCHECK(t != nullptr);
+        st.push_back(Value(t->ts()));
+        ++pc;
+        break;
+      }
+      case OpCode::kJumpIfFalsePeek: {
+        RUMOR_DCHECK(!st.empty());
+        const Value& top = st.back();
+        RUMOR_CHECK(top.type() == ValueType::kBool);
+        if (!top.AsBool()) {
+          pc = static_cast<size_t>(ins.arg);
+        } else {
+          st.pop_back();
+          ++pc;
+        }
+        break;
+      }
+      case OpCode::kJumpIfTruePeek: {
+        RUMOR_DCHECK(!st.empty());
+        const Value& top = st.back();
+        RUMOR_CHECK(top.type() == ValueType::kBool);
+        if (top.AsBool()) {
+          pc = static_cast<size_t>(ins.arg);
+        } else {
+          st.pop_back();
+          ++pc;
+        }
+        break;
+      }
+      case OpCode::kNot: {
+        RUMOR_DCHECK(!st.empty());
+        Value v = st.back();
+        st.pop_back();
+        RUMOR_CHECK(v.type() == ValueType::kBool);
+        st.push_back(Value(!v.AsBool()));
+        ++pc;
+        break;
+      }
+      default: {
+        RUMOR_DCHECK(st.size() >= 2);
+        Value b = std::move(st.back());
+        st.pop_back();
+        Value a = std::move(st.back());
+        st.pop_back();
+        switch (ins.op) {
+          case OpCode::kAdd: st.push_back(ValueAdd(a, b)); break;
+          case OpCode::kSub: st.push_back(ValueSub(a, b)); break;
+          case OpCode::kMul: st.push_back(ValueMul(a, b)); break;
+          case OpCode::kDiv: st.push_back(ValueDiv(a, b)); break;
+          case OpCode::kMod: st.push_back(ValueMod(a, b)); break;
+          case OpCode::kEq: st.push_back(Value(a.Compare(b) == 0)); break;
+          case OpCode::kNe: st.push_back(Value(a.Compare(b) != 0)); break;
+          case OpCode::kLt: st.push_back(Value(a.Compare(b) < 0)); break;
+          case OpCode::kLe: st.push_back(Value(a.Compare(b) <= 0)); break;
+          case OpCode::kGt: st.push_back(Value(a.Compare(b) > 0)); break;
+          case OpCode::kGe: st.push_back(Value(a.Compare(b) >= 0)); break;
+          default: RUMOR_CHECK(false) << "bad opcode";
+        }
+        ++pc;
+        break;
+      }
+    }
+  }
+  RUMOR_CHECK(st.size() == 1) << "program left " << st.size() << " values";
+  return st.back();
+}
+
+bool Program::EvalBool(const ExprContext& ctx) const {
+  Value v = Eval(ctx);
+  RUMOR_CHECK(v.type() == ValueType::kBool) << "program result not bool";
+  return v.AsBool();
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const Instruction& ins = code_[i];
+    os << i << ": op=" << static_cast<int>(ins.op)
+       << " side=" << static_cast<int>(ins.side) << " arg=" << ins.arg
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rumor

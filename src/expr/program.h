@@ -1,0 +1,62 @@
+// Program: expressions compiled to a flat postfix instruction sequence with
+// short-circuit jumps. Hot operators (predicate index residuals, join and
+// pattern predicates) evaluate Programs instead of walking trees; both forms
+// have identical semantics (property-tested).
+#ifndef RUMOR_EXPR_PROGRAM_H_
+#define RUMOR_EXPR_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace rumor {
+
+enum class OpCode : uint8_t {
+  kPushConst,   // push constants_[arg]
+  kPushAttr,    // push tuple(side)[arg]
+  kPushTs,      // push tuple(side).ts
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kNot,
+  // Short-circuit jumps: if top of stack is false/true, jump to arg (keeping
+  // the top as the result); otherwise pop and fall through.
+  kJumpIfFalsePeek,
+  kJumpIfTruePeek,
+};
+
+struct Instruction {
+  OpCode op;
+  Side side = Side::kLeft;
+  int32_t arg = 0;
+};
+
+class Program {
+ public:
+  Program() = default;
+
+  // Compiles `expr`; a null expr compiles to a constant-true program.
+  static Program Compile(const ExprPtr& expr);
+
+  // Evaluates against `ctx`. The scratch stack is reused across calls.
+  Value Eval(const ExprContext& ctx) const;
+  // Evaluates and coerces to bool (CHECKs on non-bool results).
+  bool EvalBool(const ExprContext& ctx) const;
+
+  int size() const { return static_cast<int>(code_.size()); }
+  bool empty() const { return code_.empty(); }
+  std::string ToString() const;
+
+ private:
+  void Emit(const ExprPtr& expr);
+
+  std::vector<Instruction> code_;
+  std::vector<Value> constants_;
+  mutable std::vector<Value> stack_;  // scratch; Programs are not shared
+                                      // across threads
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_EXPR_PROGRAM_H_

@@ -1,0 +1,111 @@
+#include "expr/shape.h"
+
+namespace rumor {
+
+void FlattenConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out) {
+  if (pred == nullptr) return;
+  if (pred->kind() == ExprKind::kAnd) {
+    FlattenConjuncts(pred->child(0), out);
+    FlattenConjuncts(pred->child(1), out);
+    return;
+  }
+  out->push_back(pred);
+}
+
+bool ReferencesSide(const ExprPtr& e, Side side) {
+  if (e == nullptr) return false;
+  if ((e->kind() == ExprKind::kAttr || e->kind() == ExprKind::kTs) &&
+      e->side() == side) {
+    return true;
+  }
+  for (int i = 0; i < e->num_children(); ++i) {
+    if (ReferencesSide(e->child(i), side)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Matches `attr-ref-on-side = const` (either operand order); returns the
+// equality if so.
+std::optional<IndexableEquality> MatchConstEquality(const ExprPtr& e,
+                                                    Side side) {
+  if (e == nullptr || e->kind() != ExprKind::kCmp ||
+      e->cmp_op() != CmpOp::kEq) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = e->child(0);
+  const ExprPtr& r = e->child(1);
+  auto attr_const = [&](const ExprPtr& a,
+                        const ExprPtr& c) -> std::optional<IndexableEquality> {
+    if (a->kind() == ExprKind::kAttr && a->side() == side &&
+        c->kind() == ExprKind::kConst) {
+      return IndexableEquality{a->attr_index(), c->const_value()};
+    }
+    return std::nullopt;
+  };
+  if (auto m = attr_const(l, r)) return m;
+  return attr_const(r, l);
+}
+
+// Matches `left.attr = right.attr` (either operand order).
+std::optional<EquiPair> MatchEquiPair(const ExprPtr& e) {
+  if (e == nullptr || e->kind() != ExprKind::kCmp ||
+      e->cmp_op() != CmpOp::kEq) {
+    return std::nullopt;
+  }
+  const ExprPtr& l = e->child(0);
+  const ExprPtr& r = e->child(1);
+  if (l->kind() != ExprKind::kAttr || r->kind() != ExprKind::kAttr) {
+    return std::nullopt;
+  }
+  if (l->side() == Side::kLeft && r->side() == Side::kRight) {
+    return EquiPair{l->attr_index(), r->attr_index()};
+  }
+  if (l->side() == Side::kRight && r->side() == Side::kLeft) {
+    return EquiPair{r->attr_index(), l->attr_index()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+SelectionShape AnalyzeSelectionOnSide(const ExprPtr& pred, Side side) {
+  SelectionShape shape;
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  std::vector<ExprPtr> rest;
+  for (const ExprPtr& c : conjuncts) {
+    if (!shape.equality.has_value()) {
+      if (auto m = MatchConstEquality(c, side)) {
+        shape.equality = m;
+        continue;
+      }
+    }
+    rest.push_back(c);
+  }
+  shape.residual = Expr::AndAll(rest);
+  return shape;
+}
+
+SelectionShape AnalyzeSelection(const ExprPtr& pred) {
+  return AnalyzeSelectionOnSide(pred, Side::kLeft);
+}
+
+JoinShape AnalyzeJoin(const ExprPtr& pred) {
+  JoinShape shape;
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  std::vector<ExprPtr> rest;
+  for (const ExprPtr& c : conjuncts) {
+    if (auto m = MatchEquiPair(c)) {
+      shape.equi.push_back(*m);
+    } else {
+      rest.push_back(c);
+    }
+  }
+  shape.residual = Expr::AndAll(rest);
+  return shape;
+}
+
+}  // namespace rumor

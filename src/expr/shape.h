@@ -1,0 +1,68 @@
+// Predicate shape analysis: the static inspection m-rules and optimized
+// m-ops rely on.
+//
+//  * AnalyzeSelection: splits a selection predicate into an indexable
+//    `attr = constant` equality plus a residual — the hash-index form of
+//    predicate indexing (paper §2.4, rule sσ; Cayuga's FR/AN indexes §4.3).
+//  * AnalyzeJoin: extracts conjunctive `left.attr = right.attr` equalities
+//    plus a residual — the hashable form used by join state and by the
+//    AI-index equivalent inside ;/µ m-ops.
+#ifndef RUMOR_EXPR_SHAPE_H_
+#define RUMOR_EXPR_SHAPE_H_
+
+#include <optional>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace rumor {
+
+// An `a[attr] = constant` conjunct on the left input.
+struct IndexableEquality {
+  int attr = -1;
+  Value constant;
+};
+
+struct SelectionShape {
+  // First `attr = const` conjunct found, if any.
+  std::optional<IndexableEquality> equality;
+  // Conjunction of the remaining conjuncts; nullptr when none.
+  ExprPtr residual;
+};
+
+// Decomposes `pred` (over the left side only). A null `pred` yields
+// {nullopt, nullptr}.
+SelectionShape AnalyzeSelection(const ExprPtr& pred);
+
+// Like AnalyzeSelection but extracting an `attr = const` conjunct on the
+// given side of a two-sided predicate (the Cayuga AN index analyses the
+// event side of a pattern predicate).
+SelectionShape AnalyzeSelectionOnSide(const ExprPtr& pred, Side side);
+
+// A `left.attr = right.attr` equality conjunct.
+struct EquiPair {
+  int left_attr = -1;
+  int right_attr = -1;
+
+  bool operator==(const EquiPair& other) const {
+    return left_attr == other.left_attr && right_attr == other.right_attr;
+  }
+};
+
+struct JoinShape {
+  std::vector<EquiPair> equi;
+  ExprPtr residual;  // nullptr when none
+};
+
+// Decomposes a two-sided predicate into hashable equi-pairs + residual.
+JoinShape AnalyzeJoin(const ExprPtr& pred);
+
+// Flattens nested ANDs into a conjunct list (single-element for non-AND).
+void FlattenConjuncts(const ExprPtr& pred, std::vector<ExprPtr>* out);
+
+// True if the expression references the given side anywhere.
+bool ReferencesSide(const ExprPtr& e, Side side);
+
+}  // namespace rumor
+
+#endif  // RUMOR_EXPR_SHAPE_H_

@@ -1,0 +1,97 @@
+#include "mop/aggregate_mop.h"
+
+namespace rumor {
+
+MopType AggregateMop::TypeFor(Sharing sharing) {
+  switch (sharing) {
+    case Sharing::kIsolated: return MopType::kAggregate;
+    case Sharing::kShared: return MopType::kSharedAggregate;
+    case Sharing::kFragment: return MopType::kFragmentAggregate;
+  }
+  return MopType::kAggregate;
+}
+
+AggregateMop::AggregateMop(std::vector<Member> members, Sharing sharing,
+                           OutputMode mode)
+    : Mop(TypeFor(sharing), /*num_inputs=*/1,
+          /*num_outputs=*/mode == OutputMode::kChannel
+              ? 1
+              : static_cast<int>(members.size())),
+      members_(std::move(members)),
+      sharing_(sharing),
+      mode_(mode) {
+  RUMOR_CHECK(!members_.empty());
+  if (sharing_ == Sharing::kIsolated) {
+    for (const Member& m : members_) {
+      engines_.push_back(std::make_unique<SharedAggEngine>(
+          std::vector<AggMemberSpec>{m.spec}));
+    }
+  } else {
+    std::vector<AggMemberSpec> specs;
+    for (int i = 0; i < num_members(); ++i) {
+      const Member& m = members_[i];
+      if (sharing_ == Sharing::kShared) {
+        RUMOR_CHECK(m.input_slot == members_[0].input_slot)
+            << "sα members must read the same stream";
+      } else {  // kFragment: member i <-> channel slot i
+        RUMOR_CHECK(m.input_slot == i)
+            << "cα member " << i << " must read channel slot " << i;
+        RUMOR_CHECK(m.spec.Signature() == members_[0].spec.Signature())
+            << "cα members must have identical definitions";
+      }
+      specs.push_back(m.spec);
+    }
+    engines_.push_back(std::make_unique<SharedAggEngine>(std::move(specs)));
+  }
+  // Channel-mode output is only meaningful when member outputs can carry a
+  // shared payload; aggregates emit member-specific values, so members map
+  // to singleton memberships in channel mode. We still allow it for wiring
+  // uniformity.
+}
+
+size_t AggregateMop::log_size() const {
+  size_t n = 0;
+  for (const auto& e : engines_) n += e->log_size();
+  return n;
+}
+
+void AggregateMop::Process(int input_port, const ChannelTuple& ct,
+                           Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  auto emit = [&](int member, Tuple result) {
+    if (mode_ == OutputMode::kChannel) {
+      out.Emit(0, ChannelTuple{std::move(result),
+                               BitVector::Singleton(member, num_members())});
+    } else {
+      out.Emit(member,
+               ChannelTuple{std::move(result), BitVector::Singleton(0, 1)});
+    }
+    CountOut();
+  };
+
+  if (sharing_ == Sharing::kIsolated) {
+    for (int i = 0; i < num_members(); ++i) {
+      if (!ct.membership.Test(members_[i].input_slot)) continue;
+      BitVector one = BitVector::AllOnes(1);
+      engines_[i]->Process(ct.tuple, one, [&](int, Tuple result) {
+        emit(i, std::move(result));
+      });
+    }
+    return;
+  }
+
+  BitVector membership(num_members());
+  if (sharing_ == Sharing::kShared) {
+    // All members read the same stream: the tuple applies to everyone.
+    if (!ct.membership.Test(members_[0].input_slot)) return;
+    membership = BitVector::AllOnes(num_members());
+  } else {
+    // Fragment mode: member i <-> input slot i.
+    RUMOR_DCHECK(ct.membership.size() == num_members());
+    membership = ct.membership;
+  }
+  engines_[0]->Process(ct.tuple, membership, emit);
+}
+
+}  // namespace rumor

@@ -1,0 +1,66 @@
+// Sliding-window aggregation m-ops, in three sharing modes:
+//
+//  * kIsolated  — reference: every member keeps its own window state.
+//  * kShared    — target of rule sα [Zhang 05]: members read the same
+//    stream with the same aggregate function/attribute but possibly
+//    different group-by specifications and window lengths; one shared entry
+//    log with per-member expiry cursors serves all of them.
+//  * kFragment  — target of rule cα [Krishnamurthy 06]: same-definition
+//    members whose inputs are encoded in one channel (member i = slot i);
+//    each log entry carries the tuple's membership and contributes only to
+//    the members it belongs to (fragment sharing).
+//
+// Emission contract (all modes): per input tuple and member, the updated
+// aggregate of that tuple's group over entries with ts in (t - window, t].
+#ifndef RUMOR_MOP_AGGREGATE_MOP_H_
+#define RUMOR_MOP_AGGREGATE_MOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "mop/mop.h"
+#include "mop/window.h"
+
+namespace rumor {
+
+class AggregateMop : public Mop {
+ public:
+  enum class Sharing : uint8_t { kIsolated, kShared, kFragment };
+
+  struct Member {
+    int input_slot = 0;
+    AggMemberSpec spec;
+  };
+
+  AggregateMop(std::vector<Member> members, Sharing sharing, OutputMode mode);
+
+  int num_members() const override {
+    return static_cast<int>(members_.size());
+  }
+  uint64_t MemberSignature(int i) const override {
+    return members_[i].spec.Signature();
+  }
+  const Member& member(int i) const { return members_[i]; }
+  Sharing sharing() const { return sharing_; }
+
+  // Size of the shared entry log (for tests/ablation; isolated mode sums
+  // per-member logs).
+  size_t log_size() const;
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  static MopType TypeFor(Sharing sharing);
+
+  std::vector<Member> members_;
+  Sharing sharing_;
+  OutputMode mode_;
+  // kIsolated: one single-member engine per member; otherwise one shared
+  // engine for all members.
+  std::vector<std::unique_ptr<SharedAggEngine>> engines_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_AGGREGATE_MOP_H_

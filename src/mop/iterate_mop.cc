@@ -1,0 +1,170 @@
+#include "mop/iterate_mop.h"
+
+namespace rumor {
+
+MopType IterateMop::TypeFor(Sharing sharing) {
+  switch (sharing) {
+    case Sharing::kIsolated: return MopType::kIterate;
+    case Sharing::kShared: return MopType::kSharedIterate;
+    case Sharing::kChannel: return MopType::kChannelIterate;
+  }
+  return MopType::kIterate;
+}
+
+IterateMop::IterateMop(std::vector<Member> members, Sharing sharing,
+                       OutputMode mode)
+    : Mop(TypeFor(sharing), /*num_inputs=*/2,
+          /*num_outputs=*/mode == OutputMode::kChannel
+              ? 1
+              : static_cast<int>(members.size())),
+      members_(std::move(members)),
+      sharing_(sharing),
+      mode_(mode) {
+  RUMOR_CHECK(!members_.empty());
+  const Member& first = members_[0];
+  const int n = sharing_ == Sharing::kIsolated ? num_members() : 1;
+  for (int i = 0; i < n; ++i) {
+    const Member& m = members_[i];
+    match_programs_.push_back(Program::Compile(m.def.match));
+    rebind_programs_.push_back(Program::Compile(m.def.rebind));
+    shapes_.push_back(AnalyzeJoin(m.def.match));
+    stores_.push_back(std::make_unique<Store>(!shapes_.back().equi.empty()));
+  }
+  indexed_ = !shapes_[0].equi.empty();
+  if (sharing_ != Sharing::kIsolated) {
+    for (int i = 0; i < num_members(); ++i) {
+      const Member& m = members_[i];
+      RUMOR_CHECK(m.def.Signature() == first.def.Signature())
+          << "shared µ members must have identical definitions";
+      RUMOR_CHECK(m.right_slot == first.right_slot)
+          << "shared µ members must read the same event stream";
+      if (sharing_ == Sharing::kShared) {
+        RUMOR_CHECK(m.left_slot == first.left_slot)
+            << "sµ members must read the same left stream";
+      } else {
+        RUMOR_CHECK(m.left_slot == i)
+            << "cµ member " << i << " must read left channel slot " << i;
+      }
+    }
+  }
+}
+
+size_t IterateMop::instance_count() const {
+  size_t n = 0;
+  for (const auto& s : stores_) n += s->live_size();
+  return n;
+}
+
+Tuple IterateMop::MakeInitialConcat(const Tuple& start,
+                                    const IterateDef& def) const {
+  RUMOR_DCHECK(start.size() == def.left_size);
+  std::vector<Value> values;
+  values.reserve(def.left_size + def.right_size);
+  values.insert(values.end(), start.values().begin(), start.values().end());
+  if (def.right_size == def.left_size) {
+    // `last` starts out as the start event itself.
+    values.insert(values.end(), start.values().begin(),
+                  start.values().end());
+  } else {
+    values.insert(values.end(), def.right_size, Value());
+  }
+  return Tuple::Make(std::move(values), start.ts());
+}
+
+void IterateMop::Process(int input_port, const ChannelTuple& ct,
+                         Emitter& out) {
+  if (input_port == 0) {
+    ProcessLeft(ct);
+  } else {
+    RUMOR_DCHECK(input_port == 1);
+    ProcessRight(ct, out);
+  }
+}
+
+void IterateMop::ProcessLeft(const ChannelTuple& ct) {
+  const Tuple& t = ct.tuple;
+  if (sharing_ == Sharing::kIsolated) {
+    for (int i = 0; i < num_members(); ++i) {
+      if (!ct.membership.Test(members_[i].left_slot)) continue;
+      Tuple concat = MakeInitialConcat(t, members_[i].def);
+      Value key;
+      if (!shapes_[i].equi.empty()) {
+        key = concat.at(shapes_[i].equi[0].left_attr);
+      }
+      stores_[i]->Add(Instance{std::move(concat), BitVector::Singleton(0, 1)},
+                      key, t.ts());
+    }
+    return;
+  }
+  BitVector membership =
+      sharing_ == Sharing::kShared
+          ? (ct.membership.Test(members_[0].left_slot)
+                 ? BitVector::AllOnes(num_members())
+                 : BitVector(num_members()))
+          : ct.membership;
+  if (membership.None()) return;
+  Tuple concat = MakeInitialConcat(t, members_[0].def);
+  Value key;
+  if (indexed_) key = concat.at(shapes_[0].equi[0].left_attr);
+  stores_[0]->Add(Instance{std::move(concat), std::move(membership)}, key,
+                  t.ts());
+}
+
+void IterateMop::ProcessRight(const ChannelTuple& ct, Emitter& out) {
+  const Tuple& e = ct.tuple;
+  auto run = [&](int idx, const Member& m) {
+    Store& store = *stores_[idx];
+    const IterateDef& def = m.def;
+    if (def.window > 0) store.ExpireBefore(e.ts() - def.window);
+    Value key;
+    const Value* key_ptr = nullptr;
+    if (!shapes_[idx].equi.empty()) {
+      key = e.at(shapes_[idx].equi[0].right_attr);
+      key_ptr = &key;
+    }
+    store.ForCandidates(key_ptr, [&](int64_t abs, auto& slot) {
+      Instance& inst = slot.item;
+      if (slot.ts >= e.ts()) return;  // start must precede the event
+      ExprContext ctx{&inst.concat, &e};
+      if (!match_programs_[idx].EvalBool(ctx)) return;  // irrelevant event
+      if (!rebind_programs_[idx].EvalBool(ctx)) {
+        store.Kill(abs);  // run broken
+        return;
+      }
+      // Rebind: replace the last-part with the event, emit the new concat.
+      std::vector<Value> values;
+      values.reserve(def.left_size + def.right_size);
+      for (int k = 0; k < def.left_size; ++k) {
+        values.push_back(inst.concat.at(k));
+      }
+      values.insert(values.end(), e.values().begin(), e.values().end());
+      Tuple updated = Tuple::Make(std::move(values), e.ts());
+      if (sharing_ == Sharing::kIsolated) {
+        EmitForMembers(mode_, BitVector::Singleton(idx, num_members()),
+                       updated, out);
+        CountOut();
+      } else if (sharing_ == Sharing::kShared) {
+        EmitForMembers(mode_, BitVector::AllOnes(num_members()), updated,
+                       out);
+        CountOut(mode_ == OutputMode::kChannel ? 1 : num_members());
+      } else {
+        EmitForMembers(mode_, inst.membership, updated, out);
+        CountOut(mode_ == OutputMode::kChannel ? 1
+                                               : inst.membership.Count());
+      }
+      inst.concat = std::move(updated);
+    });
+  };
+
+  if (sharing_ == Sharing::kIsolated) {
+    for (int i = 0; i < num_members(); ++i) {
+      if (!ct.membership.Test(members_[i].right_slot)) continue;
+      run(i, members_[i]);
+    }
+    return;
+  }
+  if (!ct.membership.Test(members_[0].right_slot)) return;
+  run(0, members_[0]);
+}
+
+}  // namespace rumor

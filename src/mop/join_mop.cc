@@ -1,0 +1,200 @@
+#include "mop/join_mop.h"
+
+#include <algorithm>
+
+namespace rumor {
+
+MopType JoinMop::TypeFor(Sharing sharing) {
+  switch (sharing) {
+    case Sharing::kIsolated: return MopType::kJoin;
+    case Sharing::kShared: return MopType::kSharedJoin;
+    case Sharing::kPrecision: return MopType::kPrecisionJoin;
+  }
+  return MopType::kJoin;
+}
+
+BitVector JoinMop::WindowRouting::MembersCovering(int64_t age,
+                                                  int num_members) const {
+  // First rank whose window covers the age; all larger windows cover too.
+  auto it = std::lower_bound(sorted_windows.begin(), sorted_windows.end(),
+                             age);
+  size_t rank = it - sorted_windows.begin();
+  if (rank >= suffix_members.size()) return BitVector(num_members);
+  return suffix_members[rank];
+}
+
+JoinMop::JoinMop(std::vector<Member> members, Sharing sharing,
+                 OutputMode mode)
+    : Mop(TypeFor(sharing), /*num_inputs=*/2,
+          /*num_outputs=*/mode == OutputMode::kChannel
+              ? 1
+              : static_cast<int>(members.size())),
+      members_(std::move(members)),
+      sharing_(sharing),
+      mode_(mode) {
+  RUMOR_CHECK(!members_.empty());
+  const Member& first = members_[0];
+
+  if (sharing_ == Sharing::kIsolated) {
+    for (const Member& m : members_) {
+      programs_.push_back(Program::Compile(m.def.predicate));
+      shapes_.push_back(AnalyzeJoin(m.def.predicate));
+      bool idx = !shapes_.back().equi.empty();
+      states_.push_back(std::make_unique<MemberState>(idx));
+    }
+    indexed_ = !shapes_[0].equi.empty();
+    return;
+  }
+
+  // Shared modes: one predicate, one state.
+  for (int i = 0; i < num_members(); ++i) {
+    const Member& m = members_[i];
+    if (sharing_ == Sharing::kShared) {
+      RUMOR_CHECK(ExprEquals(m.def.predicate, first.def.predicate))
+          << "s⋈ members must share the join predicate";
+      RUMOR_CHECK(m.left_slot == first.left_slot &&
+                  m.right_slot == first.right_slot)
+          << "s⋈ members must read the same streams";
+    } else {
+      RUMOR_CHECK(m.def.Signature() == first.def.Signature())
+          << "c⋈ members must have identical definitions";
+      RUMOR_CHECK(m.left_slot == i && m.right_slot == i)
+          << "c⋈ member " << i << " must read channel slot " << i;
+    }
+    max_left_window_ = std::max(max_left_window_, m.def.left_window);
+    max_right_window_ = std::max(max_right_window_, m.def.right_window);
+  }
+  program_ = Program::Compile(first.def.predicate);
+  shape_ = AnalyzeJoin(first.def.predicate);
+  indexed_ = !shape_.equi.empty();
+  states_.push_back(std::make_unique<MemberState>(indexed_));
+
+  if (sharing_ == Sharing::kShared) {
+    auto build_routing = [this](bool left) {
+      WindowRouting routing;
+      std::vector<std::pair<int64_t, int>> by_window;
+      for (int i = 0; i < num_members(); ++i) {
+        by_window.push_back({left ? members_[i].def.left_window
+                                  : members_[i].def.right_window,
+                             i});
+      }
+      std::sort(by_window.begin(), by_window.end());
+      routing.sorted_windows.resize(by_window.size());
+      routing.suffix_members.assign(by_window.size(),
+                                    BitVector(num_members()));
+      BitVector acc(num_members());
+      for (int k = static_cast<int>(by_window.size()) - 1; k >= 0; --k) {
+        acc.Set(by_window[k].second);
+        routing.sorted_windows[k] = by_window[k].first;
+        routing.suffix_members[k] = acc;
+      }
+      return routing;
+    };
+    left_routing_ = build_routing(/*left=*/true);
+    right_routing_ = build_routing(/*left=*/false);
+  }
+}
+
+void JoinMop::EmitMatch(const BitVector& members, const Tuple& left,
+                        const Tuple& right, Emitter& out) {
+  if (members.None()) return;
+  Tuple result =
+      ConcatTuples(left, right, std::max(left.ts(), right.ts()));
+  EmitForMembers(mode_, members, result, out);
+  CountOut(mode_ == OutputMode::kChannel ? 1 : members.Count());
+}
+
+void JoinMop::Process(int input_port, const ChannelTuple& ct, Emitter& out) {
+  RUMOR_DCHECK(input_port == 0 || input_port == 1);
+  if (sharing_ == Sharing::kIsolated) {
+    ProcessIsolated(input_port, ct, out);
+  } else {
+    ProcessSharedOrPrecision(input_port, ct, out);
+  }
+}
+
+void JoinMop::ProcessIsolated(int port, const ChannelTuple& ct,
+                              Emitter& out) {
+  const bool from_left = port == 0;
+  const Tuple& t = ct.tuple;
+  for (int i = 0; i < num_members(); ++i) {
+    const Member& m = members_[i];
+    const int slot = from_left ? m.left_slot : m.right_slot;
+    if (!ct.membership.Test(slot)) continue;
+    MemberState& st = *states_[i];
+    const JoinShape& shape = shapes_[i];
+    KeyedBuffer<StoredTuple>& store = from_left ? st.left.buffer
+                                                : st.right.buffer;
+    KeyedBuffer<StoredTuple>& probe = from_left ? st.right.buffer
+                                                : st.left.buffer;
+    // Partner tuples older than the window cannot match this or any later
+    // arrival (timestamps are non-decreasing).
+    const int64_t partner_window =
+        from_left ? m.def.right_window : m.def.left_window;
+    probe.ExpireBefore(t.ts() - partner_window);
+
+    Value probe_key, store_key;
+    const Value* probe_key_ptr = nullptr;
+    if (!shape.equi.empty()) {
+      const EquiPair& ep = shape.equi[0];
+      probe_key = t.at(from_left ? ep.left_attr : ep.right_attr);
+      store_key = probe_key;
+      probe_key_ptr = &probe_key;
+    }
+    BitVector self(num_members());
+    self.Set(i);
+    probe.ForCandidates(probe_key_ptr, [&](int64_t, auto& slot_ref) {
+      const Tuple& other = slot_ref.item.tuple;
+      const Tuple& l = from_left ? t : other;
+      const Tuple& r = from_left ? other : t;
+      ExprContext ctx{&l, &r};
+      if (programs_[i].EvalBool(ctx)) EmitMatch(self, l, r, out);
+    });
+    store.Add(StoredTuple{t, ct.membership}, store_key, t.ts());
+  }
+}
+
+void JoinMop::ProcessSharedOrPrecision(int port, const ChannelTuple& ct,
+                                       Emitter& out) {
+  const bool from_left = port == 0;
+  const Tuple& t = ct.tuple;
+  MemberState& st = *states_[0];
+  KeyedBuffer<StoredTuple>& store = from_left ? st.left.buffer
+                                              : st.right.buffer;
+  KeyedBuffer<StoredTuple>& probe = from_left ? st.right.buffer
+                                              : st.left.buffer;
+  const int64_t partner_window =
+      from_left ? max_right_window_ : max_left_window_;
+  probe.ExpireBefore(t.ts() - partner_window);
+
+  Value key;
+  const Value* key_ptr = nullptr;
+  if (indexed_) {
+    const EquiPair& ep = shape_.equi[0];
+    key = t.at(from_left ? ep.left_attr : ep.right_attr);
+    key_ptr = &key;
+  }
+
+  probe.ForCandidates(key_ptr, [&](int64_t, auto& slot_ref) {
+    const StoredTuple& stored = slot_ref.item;
+    const Tuple& l = from_left ? t : stored.tuple;
+    const Tuple& r = from_left ? stored.tuple : t;
+    ExprContext ctx{&l, &r};
+    if (!program_.EvalBool(ctx)) return;
+    BitVector members(num_members());
+    if (sharing_ == Sharing::kShared) {
+      const int64_t age = t.ts() - stored.tuple.ts();
+      // The stored tuple must lie inside the member's window for the side
+      // it was stored on.
+      members = from_left
+                    ? right_routing_.MembersCovering(age, num_members())
+                    : left_routing_.MembersCovering(age, num_members());
+    } else {  // kPrecision: AND of the two membership components
+      members = stored.membership & ct.membership;
+    }
+    EmitMatch(members, l, r, out);
+  });
+  store.Add(StoredTuple{t, ct.membership}, key, t.ts());
+}
+
+}  // namespace rumor

@@ -1,0 +1,124 @@
+// Sliding-window join m-ops, in three sharing modes:
+//
+//  * kIsolated  — reference: per-member symmetric hash join state.
+//  * kShared    — target of rule s⋈ [Hammad 03]: members read the same two
+//    streams with the same predicate but different window lengths; one
+//    shared state serves all members, and each match is routed to exactly
+//    the members whose windows cover the partner tuple's age (computed with
+//    sorted windows + precomputed suffix member sets).
+//  * kPrecision — target of rule c⋈ [Krishnamurthy 04] (precision sharing):
+//    same-definition members whose left/right inputs are encoded in
+//    channels (member i = slot i on both sides); stored tuples carry
+//    memberships and a match belongs to the AND of the two memberships.
+//
+// Match semantics (all modes): tuples l, r join iff predicate(l, r) holds,
+// r.ts - l.ts <= left_window when l arrived first, and l.ts - r.ts <=
+// right_window when r arrived first. Output tuple = concat(l, r) with
+// ts = max(l.ts, r.ts). An `attr_l = attr_r` conjunct, when present, is used
+// as the hash key of both states.
+#ifndef RUMOR_MOP_JOIN_MOP_H_
+#define RUMOR_MOP_JOIN_MOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "expr/program.h"
+#include "expr/shape.h"
+#include "mop/mop.h"
+#include "mop/window.h"
+
+namespace rumor {
+
+struct JoinDef {
+  ExprPtr predicate;
+  int64_t left_window = 0;
+  int64_t right_window = 0;
+
+  uint64_t Signature() const {
+    uint64_t h = Mix64(PredicateSignature(predicate));
+    h = HashCombine(h, static_cast<uint64_t>(left_window));
+    h = HashCombine(h, static_cast<uint64_t>(right_window));
+    return h;
+  }
+  // Predicate-only signature (s⋈ allows different windows).
+  uint64_t PredicateOnlySignature() const {
+    return Mix64(PredicateSignature(predicate));
+  }
+};
+
+class JoinMop : public Mop {
+ public:
+  enum class Sharing : uint8_t { kIsolated, kShared, kPrecision };
+
+  struct Member {
+    int left_slot = 0;
+    int right_slot = 0;
+    JoinDef def;
+  };
+
+  // Input port 0 = left channel, port 1 = right channel.
+  JoinMop(std::vector<Member> members, Sharing sharing, OutputMode mode);
+
+  int num_members() const override {
+    return static_cast<int>(members_.size());
+  }
+  uint64_t MemberSignature(int i) const override {
+    return members_[i].def.Signature();
+  }
+  const Member& member(int i) const { return members_[i]; }
+  Sharing sharing() const { return sharing_; }
+  bool indexed() const { return indexed_; }
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  struct StoredTuple {
+    Tuple tuple;
+    BitVector membership;  // meaningful for kPrecision
+  };
+  struct SideState {
+    KeyedBuffer<StoredTuple> buffer;
+    explicit SideState(bool indexed) : buffer(indexed) {}
+  };
+  struct MemberState {
+    SideState left;
+    SideState right;
+    MemberState(bool indexed) : left(indexed), right(indexed) {}
+  };
+
+  static MopType TypeFor(Sharing sharing);
+  void ProcessIsolated(int port, const ChannelTuple& ct, Emitter& out);
+  void ProcessSharedOrPrecision(int port, const ChannelTuple& ct,
+                                Emitter& out);
+  void EmitMatch(const BitVector& members, const Tuple& left,
+                 const Tuple& right, Emitter& out);
+
+  std::vector<Member> members_;
+  Sharing sharing_;
+  OutputMode mode_;
+  Program program_;                 // shared modes: the common predicate
+  std::vector<Program> programs_;   // isolated mode: per member
+  JoinShape shape_;                 // of members_[0] (shared modes)
+  std::vector<JoinShape> shapes_;   // isolated mode
+  bool indexed_ = false;
+  // kIsolated: one state per member; shared modes: states_[0].
+  std::vector<std::unique_ptr<MemberState>> states_;
+  // kShared: member indexes sorted by window, and for each rank the set of
+  // members whose window is >= the rank's window (suffix sets).
+  struct WindowRouting {
+    std::vector<int64_t> sorted_windows;   // ascending
+    std::vector<BitVector> suffix_members;  // [k] = members with window >=
+                                            // sorted_windows[k]
+    // Members whose window covers `age` (age >= 0).
+    BitVector MembersCovering(int64_t age, int num_members) const;
+  };
+  WindowRouting left_routing_;   // keyed by member.left_window
+  WindowRouting right_routing_;  // keyed by member.right_window
+  int64_t max_left_window_ = 0;
+  int64_t max_right_window_ = 0;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_JOIN_MOP_H_

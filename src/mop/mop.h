@@ -1,0 +1,118 @@
+// The physical multi-operator (m-op) abstraction — paper §2.2.
+//
+// An m-op *implements a set of operators* (its members) and is the unit of
+// scheduling and execution. Its semantics are defined by the one-by-one
+// execution of its members; optimized m-ops (predicate indexes, shared
+// state) must preserve exactly that observable behaviour, and the test suite
+// checks them against the reference m-ops.
+//
+// Port conventions used throughout this library:
+//  * Each m-op has a fixed number of input and output ports; the plan wires
+//    each port to a channel.
+//  * Unless an m-op documents otherwise, member i writes to output port i
+//    (one capacity-1 channel per member), or — in channel-output mode — all
+//    members share output port 0 and member i corresponds to slot i of the
+//    output channel.
+#ifndef RUMOR_MOP_MOP_H_
+#define RUMOR_MOP_MOP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/channel.h"
+
+namespace rumor {
+
+using MopId = int32_t;
+inline constexpr MopId kInvalidMop = -1;
+
+enum class MopType : uint8_t {
+  kSelection,
+  kProjection,
+  kAggregate,
+  kJoin,
+  kSequence,
+  kIterate,
+  kPredicateIndex,    // sσ target
+  kChannelSelect,     // cσ target
+  kChannelProject,    // cπ target
+  kSharedAggregate,   // sα target
+  kFragmentAggregate, // cα target
+  kSharedJoin,        // s⋈ target
+  kPrecisionJoin,     // c⋈ target
+  kSharedSequence,    // s; target
+  kChannelSequence,   // c; target
+  kSharedIterate,     // sµ target
+  kChannelIterate,    // cµ target
+};
+
+const char* MopTypeName(MopType type);
+
+// Receives tuples emitted by an m-op; implemented by the executor.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(int output_port, ChannelTuple tuple) = 0;
+};
+
+class Mop {
+ public:
+  Mop(MopType type, int num_inputs, int num_outputs)
+      : type_(type), num_inputs_(num_inputs), num_outputs_(num_outputs) {}
+  virtual ~Mop() = default;
+  Mop(const Mop&) = delete;
+  Mop& operator=(const Mop&) = delete;
+
+  MopType type() const { return type_; }
+  MopId id() const { return id_; }
+  void set_id(MopId id) { id_ = id; }
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+
+  // Number of member operators this m-op implements.
+  virtual int num_members() const = 0;
+  // Definition-only signature of member `i` (predicates, windows, maps —
+  // not input identity). Two operators are mergeable by a c-rule only if
+  // these match.
+  virtual uint64_t MemberSignature(int i) const = 0;
+
+  // Processes one tuple arriving on `input_port`.
+  virtual void Process(int input_port, const ChannelTuple& tuple,
+                       Emitter& out) = 0;
+
+  // Short display name, e.g. "σ{1,2}" or "µ[3]".
+  virtual std::string name() const;
+
+  // --- lightweight metrics (maintained by the executor) --------------------
+  int64_t tuples_in() const { return tuples_in_; }
+  int64_t tuples_out() const { return tuples_out_; }
+  void CountIn() { ++tuples_in_; }
+  void CountOut(int64_t n = 1) { tuples_out_ += n; }
+
+ protected:
+  void set_num_outputs(int n) { num_outputs_ = n; }
+
+ private:
+  MopType type_;
+  int num_inputs_;
+  int num_outputs_;
+  MopId id_ = kInvalidMop;
+  int64_t tuples_in_ = 0;
+  int64_t tuples_out_ = 0;
+};
+
+// How a multi-member m-op exposes its member outputs.
+enum class OutputMode : uint8_t {
+  kPerMemberPorts,  // member i -> output port i (capacity-1 channels)
+  kChannel,         // all members -> port 0; member i -> channel slot i
+};
+
+// Emits `tuple` for the member set `members` according to `mode`:
+// per-member ports get one singleton channel tuple per set bit; channel mode
+// gets a single channel tuple whose membership is `members`.
+void EmitForMembers(OutputMode mode, const BitVector& members,
+                    const Tuple& tuple, Emitter& out);
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_MOP_H_

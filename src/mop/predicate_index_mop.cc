@@ -1,0 +1,65 @@
+#include "mop/predicate_index_mop.h"
+
+namespace rumor {
+
+PredicateIndexMop::PredicateIndexMop(std::vector<SelectionDef> members,
+                                     OutputMode mode)
+    : Mop(MopType::kPredicateIndex, /*num_inputs=*/1,
+          /*num_outputs=*/mode == OutputMode::kChannel
+              ? 1
+              : static_cast<int>(members.size())),
+      members_(std::move(members)),
+      mode_(mode) {
+  RUMOR_CHECK(!members_.empty());
+  for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
+    SelectionShape shape = AnalyzeSelection(members_[i].predicate);
+    if (!shape.equality.has_value()) {
+      sequential_.push_back(
+          {i, Program::Compile(members_[i].predicate)});
+      continue;
+    }
+    ++num_indexed_;
+    AttrIndex* index = nullptr;
+    for (AttrIndex& ai : indexes_) {
+      if (ai.attr == shape.equality->attr) {
+        index = &ai;
+        break;
+      }
+    }
+    if (index == nullptr) {
+      indexes_.push_back(AttrIndex{shape.equality->attr, {}});
+      index = &indexes_.back();
+    }
+    IndexedMember im;
+    im.member = i;
+    im.has_residual = shape.residual != nullptr;
+    if (im.has_residual) im.residual = Program::Compile(shape.residual);
+    index->by_constant[shape.equality->constant].push_back(std::move(im));
+  }
+}
+
+void PredicateIndexMop::Process(int input_port, const ChannelTuple& ct,
+                                Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  RUMOR_DCHECK(ct.membership.Test(0)) << "sσ members all read slot 0";
+  ExprContext ctx{&ct.tuple, nullptr};
+  BitVector matched(num_members());
+  for (AttrIndex& index : indexes_) {
+    auto it = index.by_constant.find(ct.tuple.at(index.attr));
+    if (it == index.by_constant.end()) continue;
+    for (IndexedMember& im : it->second) {
+      if (!im.has_residual || im.residual.EvalBool(ctx)) {
+        matched.Set(im.member);
+      }
+    }
+  }
+  for (SequentialMember& sm : sequential_) {
+    if (sm.program.EvalBool(ctx)) matched.Set(sm.member);
+  }
+  EmitForMembers(mode_, matched, ct.tuple, out);
+  CountOut(mode_ == OutputMode::kChannel ? (matched.Any() ? 1 : 0)
+                                         : matched.Count());
+}
+
+}  // namespace rumor

@@ -1,0 +1,65 @@
+// PredicateIndexMop — target of rule sσ (paper §2.4): a set of selections
+// reading the same stream, evaluated with predicate indexing [Fabret 01,
+// CACQ]. Members whose predicate contains an `attr = const` conjunct are
+// grouped into per-attribute hash indexes (const -> members); a probe plus a
+// per-member residual check replaces evaluating every predicate. Members
+// without an indexable equality fall back to sequential evaluation.
+//
+// This same m-op is what the Cayuga FR and AN indexes translate to in RUMOR
+// (paper §4.3).
+#ifndef RUMOR_MOP_PREDICATE_INDEX_MOP_H_
+#define RUMOR_MOP_PREDICATE_INDEX_MOP_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/program.h"
+#include "expr/shape.h"
+#include "mop/selection_mop.h"
+
+namespace rumor {
+
+class PredicateIndexMop : public Mop {
+ public:
+  // All members read slot 0 of the single input channel.
+  PredicateIndexMop(std::vector<SelectionDef> members, OutputMode mode);
+
+  int num_members() const override {
+    return static_cast<int>(members_.size());
+  }
+  uint64_t MemberSignature(int i) const override {
+    return members_[i].Signature();
+  }
+  const SelectionDef& member(int i) const { return members_[i]; }
+
+  // Number of members served by hash indexes (observability / tests).
+  int num_indexed_members() const { return num_indexed_; }
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  struct IndexedMember {
+    int member;
+    Program residual;   // empty => unconditional on probe hit
+    bool has_residual;
+  };
+  struct AttrIndex {
+    int attr;
+    std::unordered_map<Value, std::vector<IndexedMember>> by_constant;
+  };
+  struct SequentialMember {
+    int member;
+    Program program;  // full predicate
+  };
+
+  std::vector<SelectionDef> members_;
+  std::vector<AttrIndex> indexes_;
+  std::vector<SequentialMember> sequential_;
+  int num_indexed_ = 0;
+  OutputMode mode_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_PREDICATE_INDEX_MOP_H_

@@ -1,0 +1,68 @@
+// Projection m-ops.
+//
+//  * ProjectionMop — reference: applies each member's schema map
+//    independently.
+//  * ChannelProjectMop — the paper's π{1..n} example (§3.1): n projections
+//    with the same map over streams encoded in one channel; the map is
+//    applied once and the membership component passes through unchanged.
+#ifndef RUMOR_MOP_PROJECTION_MOP_H_
+#define RUMOR_MOP_PROJECTION_MOP_H_
+
+#include <vector>
+
+#include "expr/schema_map.h"
+#include "mop/mop.h"
+
+namespace rumor {
+
+struct ProjectionDef {
+  SchemaMap map;
+
+  uint64_t Signature() const { return map.Signature(); }
+};
+
+class ProjectionMop : public Mop {
+ public:
+  struct Member {
+    int input_slot = 0;
+    ProjectionDef def;
+  };
+
+  ProjectionMop(std::vector<Member> members, OutputMode mode);
+
+  int num_members() const override {
+    return static_cast<int>(members_.size());
+  }
+  uint64_t MemberSignature(int i) const override {
+    return members_[i].def.Signature();
+  }
+  const Member& member(int i) const { return members_[i]; }
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  std::vector<Member> members_;
+  OutputMode mode_;
+};
+
+class ChannelProjectMop : public Mop {
+ public:
+  ChannelProjectMop(ProjectionDef def, int num_members, OutputMode mode);
+
+  int num_members() const override { return num_members_; }
+  uint64_t MemberSignature(int) const override { return def_.Signature(); }
+  const ProjectionDef& def() const { return def_; }
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  ProjectionDef def_;
+  int num_members_;
+  OutputMode mode_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_PROJECTION_MOP_H_

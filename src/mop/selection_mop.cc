@@ -1,0 +1,58 @@
+#include "mop/selection_mop.h"
+
+namespace rumor {
+
+SelectionMop::SelectionMop(std::vector<Member> members, OutputMode mode)
+    : Mop(MopType::kSelection, /*num_inputs=*/1,
+          /*num_outputs=*/mode == OutputMode::kChannel
+              ? 1
+              : static_cast<int>(members.size())),
+      members_(std::move(members)),
+      mode_(mode) {
+  RUMOR_CHECK(!members_.empty());
+  programs_.reserve(members_.size());
+  for (const Member& m : members_) {
+    programs_.push_back(Program::Compile(m.def.predicate));
+  }
+}
+
+void SelectionMop::Process(int input_port, const ChannelTuple& ct,
+                           Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  ExprContext ctx{&ct.tuple, nullptr};
+  BitVector matched(num_members());
+  for (int i = 0; i < num_members(); ++i) {
+    if (!ct.membership.Test(members_[i].input_slot)) continue;
+    if (programs_[i].EvalBool(ctx)) matched.Set(i);
+  }
+  EmitForMembers(mode_, matched, ct.tuple, out);
+  CountOut(mode_ == OutputMode::kChannel ? (matched.Any() ? 1 : 0)
+                                         : matched.Count());
+}
+
+ChannelSelectMop::ChannelSelectMop(SelectionDef def, int num_members,
+                                   OutputMode mode)
+    : Mop(MopType::kChannelSelect, /*num_inputs=*/1,
+          /*num_outputs=*/mode == OutputMode::kChannel ? 1 : num_members),
+      def_(std::move(def)),
+      num_members_(num_members),
+      program_(Program::Compile(def_.predicate)),
+      mode_(mode) {
+  RUMOR_CHECK(num_members_ >= 1);
+}
+
+void ChannelSelectMop::Process(int input_port, const ChannelTuple& ct,
+                               Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  RUMOR_DCHECK(ct.membership.size() == num_members_);
+  ExprContext ctx{&ct.tuple, nullptr};
+  // Same definition for every member: evaluate once, pass membership
+  // through.
+  if (!program_.EvalBool(ctx)) return;
+  EmitForMembers(mode_, ct.membership, ct.tuple, out);
+  CountOut(mode_ == OutputMode::kChannel ? 1 : ct.membership.Count());
+}
+
+}  // namespace rumor

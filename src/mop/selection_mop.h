@@ -1,0 +1,76 @@
+// Selection m-ops.
+//
+//  * SelectionMop — the reference m-op: implements its member selections
+//    one-by-one (paper §2.2 semantics). Also the compile output for a single
+//    logical σ.
+//  * ChannelSelectMop — target of rule cσ: same-definition selections whose
+//    inputs are encoded in one channel; the predicate is evaluated once per
+//    channel tuple and the membership component is passed through.
+//
+// (The predicate-index target of rule sσ lives in predicate_index_mop.h.)
+#ifndef RUMOR_MOP_SELECTION_MOP_H_
+#define RUMOR_MOP_SELECTION_MOP_H_
+
+#include <vector>
+
+#include "expr/program.h"
+#include "mop/mop.h"
+
+namespace rumor {
+
+// Definition of one selection operator.
+struct SelectionDef {
+  ExprPtr predicate;  // null = pass-through
+
+  uint64_t Signature() const { return PredicateSignature(predicate); }
+};
+
+class SelectionMop : public Mop {
+ public:
+  struct Member {
+    int input_slot = 0;  // slot of the input channel this member reads
+    SelectionDef def;
+  };
+
+  SelectionMop(std::vector<Member> members, OutputMode mode);
+
+  int num_members() const override {
+    return static_cast<int>(members_.size());
+  }
+  uint64_t MemberSignature(int i) const override {
+    return members_[i].def.Signature();
+  }
+  const Member& member(int i) const { return members_[i]; }
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  std::vector<Member> members_;
+  std::vector<Program> programs_;
+  OutputMode mode_;
+};
+
+class ChannelSelectMop : public Mop {
+ public:
+  // `num_members` members share `def`; member i reads input slot i and (in
+  // channel mode) writes output slot i.
+  ChannelSelectMop(SelectionDef def, int num_members, OutputMode mode);
+
+  int num_members() const override { return num_members_; }
+  uint64_t MemberSignature(int) const override { return def_.Signature(); }
+  const SelectionDef& def() const { return def_; }
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+ private:
+  SelectionDef def_;
+  int num_members_;
+  Program program_;
+  OutputMode mode_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_SELECTION_MOP_H_

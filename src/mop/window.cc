@@ -1,0 +1,123 @@
+#include "mop/window.h"
+
+namespace rumor {
+
+uint64_t AggMemberSpec::Signature() const {
+  uint64_t h = Mix64(static_cast<uint64_t>(fn));
+  h = HashCombine(h, static_cast<uint64_t>(attr));
+  for (int g : group_by) h = HashCombine(h, static_cast<uint64_t>(g));
+  h = HashCombine(h, static_cast<uint64_t>(window));
+  return h;
+}
+
+SharedAggEngine::SharedAggEngine(std::vector<AggMemberSpec> members)
+    : members_(std::move(members)), states_(members_.size()) {
+  RUMOR_CHECK(!members_.empty());
+  for (const AggMemberSpec& m : members_) {
+    RUMOR_CHECK(m.fn == members_[0].fn && m.attr == members_[0].attr)
+        << "shared aggregation requires identical fn and attribute";
+    RUMOR_CHECK(m.window > 0) << "aggregate window must be positive";
+    max_window_ = std::max(max_window_, m.window);
+    if (m.fn == AggFn::kMin || m.fn == AggFn::kMax) need_ordered_ = true;
+  }
+}
+
+void SharedAggEngine::Apply(int member, const Entry& e, int sign) {
+  const AggMemberSpec& spec = members_[member];
+  GroupState& g =
+      states_[member].groups[GroupKeyOf(e.tuple, spec.group_by)];
+  g.count += sign;
+  if (spec.fn != AggFn::kCount) {
+    if (e.value.type() == ValueType::kInt) {
+      g.isum += sign * e.value.AsInt();
+    } else {
+      g.dsum += sign * e.value.ToNumeric();
+      g.double_count += sign;
+    }
+    if (need_ordered_) {
+      if (sign > 0) {
+        g.ordered.insert(e.value);
+      } else {
+        auto it = g.ordered.find(e.value);
+        RUMOR_DCHECK(it != g.ordered.end());
+        if (it != g.ordered.end()) g.ordered.erase(it);
+      }
+    }
+  }
+}
+
+Value SharedAggEngine::Extract(const GroupState& g) const {
+  switch (members_[0].fn) {
+    case AggFn::kCount:
+      return Value(g.count);
+    case AggFn::kSum:
+      if (g.double_count > 0) return Value(g.dsum + g.isum);
+      return Value(g.isum);
+    case AggFn::kAvg:
+      if (g.count == 0) return Value();
+      return Value((g.dsum + static_cast<double>(g.isum)) /
+                   static_cast<double>(g.count));
+    case AggFn::kMin:
+      if (g.ordered.empty()) return Value();
+      return *g.ordered.begin();
+    case AggFn::kMax:
+      if (g.ordered.empty()) return Value();
+      return *g.ordered.rbegin();
+  }
+  return Value();
+}
+
+void SharedAggEngine::Process(const Tuple& t, const BitVector& membership,
+                              const std::function<void(int, Tuple)>& emit) {
+  const Timestamp now = t.ts();
+
+  Entry entry;
+  entry.ts = now;
+  entry.value =
+      members_[0].attr >= 0 ? t.at(members_[0].attr) : Value();
+  entry.tuple = t;
+  entry.membership = membership;
+  entries_.push_back(entry);
+
+  for (int m = 0; m < num_members(); ++m) {
+    MemberState& st = states_[m];
+    const int64_t member_window = members_[m].window;
+    // Expire entries that left this member's window: ts <= now - window.
+    while (st.cursor < base_ + static_cast<int64_t>(entries_.size())) {
+      const Entry& e = entries_[st.cursor - base_];
+      if (e.ts > now - member_window) break;
+      if (e.membership.Test(m)) {
+        Apply(m, e, -1);
+        // Drop groups whose window emptied (bounds state by the number of
+        // groups *live in the window*, not ever seen).
+        ValueVec key = GroupKeyOf(e.tuple, members_[m].group_by);
+        auto it = st.groups.find(key);
+        if (it != st.groups.end() && it->second.count == 0) {
+          st.groups.erase(it);
+        }
+      }
+      ++st.cursor;
+    }
+    if (!membership.Test(m)) continue;
+    // Add the new entry and emit the updated aggregate of its group.
+    Apply(m, entries_.back(), +1);
+    const AggMemberSpec& spec = members_[m];
+    ValueVec key = GroupKeyOf(t, spec.group_by);
+    const GroupState& g = st.groups[key];
+    std::vector<Value> out = key.values;
+    out.push_back(Extract(g));
+    emit(m, Tuple::Make(std::move(out), now));
+  }
+
+  // Entries no member can still need are dropped from the shared log.
+  int64_t min_cursor = base_ + static_cast<int64_t>(entries_.size());
+  for (const MemberState& st : states_) {
+    min_cursor = std::min(min_cursor, st.cursor);
+  }
+  while (base_ < min_cursor && !entries_.empty()) {
+    entries_.pop_front();
+    ++base_;
+  }
+}
+
+}  // namespace rumor

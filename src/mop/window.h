@@ -1,0 +1,209 @@
+// Shared sliding-window state engines used by the m-op implementations:
+//
+//  * ValueVec / group-key hashing for group-by aggregates.
+//  * KeyedBuffer<T>: an append-only, timestamp-ordered buffer with absolute
+//    indexing, optional hash index on a key value (the AI-index equivalent),
+//    in-place kill (consume-on-match), and front expiry. Backs join sides
+//    and ;/µ instance stores.
+//  * SharedAggEngine: the two-level shared aggregation state of [Zhang 05] /
+//    [Krishnamurthy 06]: one shared entry log, per-member expiry cursors
+//    (members may have different windows), per-(member, group) running
+//    aggregates, and fragment awareness via entry memberships (an entry
+//    contributes to member i iff its membership bit i is set).
+#ifndef RUMOR_MOP_WINDOW_H_
+#define RUMOR_MOP_WINDOW_H_
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/tuple.h"
+#include "query/query.h"
+
+namespace rumor {
+
+// --- group keys -------------------------------------------------------------
+
+struct ValueVec {
+  std::vector<Value> values;
+
+  bool operator==(const ValueVec& other) const {
+    return values == other.values;
+  }
+};
+
+struct ValueVecHash {
+  size_t operator()(const ValueVec& v) const {
+    uint64_t h = Mix64(v.values.size());
+    for (const Value& x : v.values) h = HashCombine(h, x.Hash());
+    return h;
+  }
+};
+
+// Extracts the group-by key of `t`.
+inline ValueVec GroupKeyOf(const Tuple& t, const std::vector<int>& group_by) {
+  ValueVec key;
+  key.values.reserve(group_by.size());
+  for (int g : group_by) key.values.push_back(t.at(g));
+  return key;
+}
+
+// --- keyed buffer -------------------------------------------------------------
+
+// Entries must be added in non-decreasing timestamp order. When `indexed` is
+// true, lookups by key touch only the matching hash bucket; expired bucket
+// slots are pruned lazily during lookups.
+template <typename T>
+class KeyedBuffer {
+ public:
+  explicit KeyedBuffer(bool indexed) : indexed_(indexed) {}
+
+  struct Slot {
+    T item;
+    Value key;
+    Timestamp ts;
+    bool alive = true;
+  };
+
+  int64_t Add(T item, Value key, Timestamp ts) {
+    int64_t abs = base_ + static_cast<int64_t>(slots_.size());
+    slots_.push_back(Slot{std::move(item), key, ts, true});
+    if (indexed_) index_[slots_.back().key].push_back(abs);
+    ++live_;
+    return abs;
+  }
+
+  // Drops entries with ts < min_ts from the front (they can never match
+  // again). Dead (consumed) entries at the front are dropped too.
+  void ExpireBefore(Timestamp min_ts) {
+    while (!slots_.empty() &&
+           (slots_.front().ts < min_ts || !slots_.front().alive)) {
+      if (slots_.front().alive) --live_;
+      slots_.pop_front();
+      ++base_;
+    }
+  }
+
+  // Marks the entry at absolute index `abs` dead.
+  void Kill(int64_t abs) {
+    int64_t rel = abs - base_;
+    RUMOR_DCHECK(rel >= 0 && rel < static_cast<int64_t>(slots_.size()));
+    if (slots_[rel].alive) --live_;
+    slots_[rel].alive = false;
+  }
+
+  // Visits live slots (optionally only those whose key equals *key when the
+  // buffer is indexed). fn(abs_index, Slot&) may mutate the slot's item or
+  // kill it via alive=false.
+  template <typename Fn>
+  void ForCandidates(const Value* key, Fn&& fn) {
+    if (indexed_ && key != nullptr) {
+      auto it = index_.find(*key);
+      if (it == index_.end()) return;
+      std::vector<int64_t>& bucket = it->second;
+      size_t w = 0;
+      for (size_t r = 0; r < bucket.size(); ++r) {
+        int64_t abs = bucket[r];
+        int64_t rel = abs - base_;
+        if (rel < 0) continue;  // expired; prune
+        Slot& slot = slots_[rel];
+        if (!slot.alive) continue;  // consumed; prune
+        bucket[w++] = abs;
+        fn(abs, slot);
+      }
+      bucket.resize(w);
+      if (bucket.empty()) index_.erase(it);
+      return;
+    }
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.alive) fn(base_ + static_cast<int64_t>(i), slot);
+    }
+  }
+
+  // Retained slots (including dead ones not yet dropped from the front).
+  size_t size() const { return slots_.size(); }
+  // Live (not consumed, not expired-from-front) entries.
+  size_t live_size() const { return static_cast<size_t>(live_); }
+  bool indexed() const { return indexed_; }
+
+ private:
+  bool indexed_;
+  std::deque<Slot> slots_;
+  int64_t base_ = 0;
+  int64_t live_ = 0;
+  std::unordered_map<Value, std::vector<int64_t>> index_;
+};
+
+// --- shared aggregation -------------------------------------------------------
+
+// Per-member aggregate specification. All members of one engine must share
+// the aggregate function and input attribute; group-by and window may
+// differ (rule sα), and entries may apply to member subsets (rule cα).
+struct AggMemberSpec {
+  AggFn fn = AggFn::kCount;
+  int attr = -1;  // -1 for COUNT
+  std::vector<int> group_by;
+  int64_t window = 0;
+
+  uint64_t Signature() const;
+};
+
+class SharedAggEngine {
+ public:
+  explicit SharedAggEngine(std::vector<AggMemberSpec> members);
+
+  // Processes tuple `t` on behalf of the members in `membership` (size =
+  // #members). For each such member, updates its state and calls
+  // emit(member, output) with output = (group values..., aggregate).
+  // Window semantics: at emission time ts, member m aggregates entries with
+  // entry.ts in (ts - window, ts].
+  void Process(const Tuple& t, const BitVector& membership,
+               const std::function<void(int, Tuple)>& emit);
+
+  int num_members() const { return static_cast<int>(members_.size()); }
+  // Number of entries currently retained in the shared log.
+  size_t log_size() const { return entries_.size(); }
+  // Number of live group states for `member` (memory observability).
+  size_t group_count(int member) const {
+    return states_[member].groups.size();
+  }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    Value value;  // aggregated attribute (null for COUNT)
+    Tuple tuple;  // for group-key extraction on expiry
+    BitVector membership;
+  };
+
+  struct GroupState {
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0.0;
+    int64_t double_count = 0;
+    std::multiset<Value> ordered;  // engaged for MIN/MAX only
+  };
+
+  struct MemberState {
+    int64_t cursor = 0;  // absolute index of first non-expired entry
+    std::unordered_map<ValueVec, GroupState, ValueVecHash> groups;
+  };
+
+  void Apply(int member, const Entry& e, int sign);
+  Value Extract(const GroupState& g) const;
+
+  std::vector<AggMemberSpec> members_;
+  std::vector<MemberState> states_;
+  std::deque<Entry> entries_;
+  int64_t base_ = 0;
+  int64_t max_window_ = 0;
+  bool need_ordered_ = false;  // MIN/MAX
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_WINDOW_H_

@@ -1,0 +1,33 @@
+// Lowers logical queries to an *unoptimized* plan: one single-member
+// reference m-op per logical operator, one capacity-1 channel per operator
+// output. Source nodes with the same name share one source stream. The rule
+// engine (rules/rule_engine.h) then rewrites the plan to share work.
+#ifndef RUMOR_PLAN_COMPILE_H_
+#define RUMOR_PLAN_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace rumor {
+
+struct CompiledQuery {
+  std::string name;
+  StreamId output_stream = kInvalidStream;
+};
+
+// Compiles `queries` into `plan` (which may already hold compiled queries).
+// Each query's root output stream is registered via Plan::MarkOutput under
+// the query's name.
+Result<std::vector<CompiledQuery>> CompileQueries(
+    const std::vector<Query>& queries, Plan* plan);
+
+// Single-query convenience.
+Result<CompiledQuery> CompileQuery(const Query& query, Plan* plan);
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_COMPILE_H_

@@ -1,0 +1,81 @@
+#include "plan/executor.h"
+
+namespace rumor {
+
+// Adapter handing an m-op's emissions back to the executor with the emitting
+// m-op's identity attached.
+class Executor::PortEmitter : public Emitter {
+ public:
+  PortEmitter(Executor* executor, MopId mop)
+      : executor_(executor), mop_(mop) {}
+
+  void Emit(int output_port, ChannelTuple tuple) override {
+    ChannelId channel = executor_->plan_->output_channel(mop_, output_port);
+    RUMOR_DCHECK(channel != kInvalidChannel);
+    executor_->Dispatch(channel, tuple);
+  }
+
+ private:
+  Executor* executor_;
+  MopId mop_;
+};
+
+Executor::Executor(Plan* plan, OutputSink* sink)
+    : plan_(plan), sink_(sink) {}
+
+void Executor::Prepare() {
+  plan_->Validate();
+  routes_.assign(plan_->num_channels(), Route{});
+  for (ChannelId c = 0; c < plan_->num_channels(); ++c) {
+    routes_[c].consumers = plan_->ConsumersOf(c);
+    const ChannelDef& def = plan_->channel(c);
+    for (const Plan::OutputDef& out : plan_->outputs()) {
+      if (auto slot = def.SlotOf(out.stream)) {
+        // Several queries may share one output stream after CSE; deliver
+        // each stream tuple once (consumers map query -> stream).
+        bool seen = false;
+        for (const auto& [s, stream] : routes_[c].output_slots) {
+          seen |= s == *slot && stream == out.stream;
+        }
+        if (!seen) routes_[c].output_slots.push_back({*slot, out.stream});
+      }
+    }
+  }
+  source_route_.assign(plan_->streams().size(), kInvalidChannel);
+  for (StreamId s = 0; s < plan_->streams().size(); ++s) {
+    if (auto c = plan_->FindSourceChannel(s)) source_route_[s] = *c;
+  }
+  prepared_ = true;
+}
+
+void Executor::PushChannel(ChannelId channel, const ChannelTuple& tuple) {
+  RUMOR_DCHECK(prepared_) << "call Prepare() first";
+  RUMOR_DCHECK(channel >= 0 && channel < plan_->num_channels());
+  Dispatch(channel, tuple);
+}
+
+void Executor::PushSource(StreamId stream, const Tuple& tuple) {
+  RUMOR_DCHECK(prepared_) << "call Prepare() first";
+  ChannelId channel = source_route_[stream];
+  RUMOR_CHECK(channel != kInvalidChannel)
+      << "stream " << stream << " is not a wired source";
+  Dispatch(channel, ChannelTuple{tuple, BitVector::Singleton(0, 1)});
+}
+
+void Executor::Dispatch(ChannelId channel, const ChannelTuple& tuple) {
+  const Route& route = routes_[channel];
+  if (sink_ != nullptr) {
+    for (const auto& [slot, stream] : route.output_slots) {
+      if (tuple.membership.Test(slot)) sink_->OnOutput(stream, tuple.tuple);
+    }
+  }
+  for (const ChannelEnd& end : route.consumers) {
+    ++deliveries_;
+    Mop& mop = plan_->mop(end.mop);
+    mop.CountIn();
+    PortEmitter emitter(this, end.mop);
+    mop.Process(end.port, tuple, emitter);
+  }
+}
+
+}  // namespace rumor

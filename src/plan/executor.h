@@ -1,0 +1,103 @@
+// Push-based, event-at-a-time executor. Source tuples are pushed in
+// timestamp order; emitted channel tuples propagate depth-first through the
+// (acyclic) consumer graph. Streams marked as query outputs are delivered to
+// an OutputSink.
+#ifndef RUMOR_PLAN_EXECUTOR_H_
+#define RUMOR_PLAN_EXECUTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace rumor {
+
+// Receives query output tuples.
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual void OnOutput(StreamId stream, const Tuple& tuple) = 0;
+};
+
+// Counts outputs per stream (cheap; benchmarks).
+class CountingSink : public OutputSink {
+ public:
+  void OnOutput(StreamId stream, const Tuple&) override {
+    ++total_;
+    if (stream >= static_cast<StreamId>(per_stream_.size())) {
+      per_stream_.resize(stream + 1, 0);
+    }
+    ++per_stream_[stream];
+  }
+  int64_t total() const { return total_; }
+  int64_t ForStream(StreamId s) const {
+    return s < static_cast<StreamId>(per_stream_.size()) ? per_stream_[s] : 0;
+  }
+
+ private:
+  int64_t total_ = 0;
+  std::vector<int64_t> per_stream_;
+};
+
+// Stores outputs per stream (tests / examples).
+class CollectingSink : public OutputSink {
+ public:
+  void OnOutput(StreamId stream, const Tuple& tuple) override {
+    tuples_[stream].push_back(tuple);
+  }
+  const std::vector<Tuple>& ForStream(StreamId s) const {
+    static const std::vector<Tuple> kEmpty;
+    auto it = tuples_.find(s);
+    return it == tuples_.end() ? kEmpty : it->second;
+  }
+  int64_t total() const {
+    int64_t n = 0;
+    for (const auto& [s, v] : tuples_) n += v.size();
+    return n;
+  }
+
+ private:
+  std::unordered_map<StreamId, std::vector<Tuple>> tuples_;
+};
+
+class Executor {
+ public:
+  // The plan must stay alive and unmodified while the executor runs.
+  Executor(Plan* plan, OutputSink* sink);
+
+  // Builds routing tables; validates the plan. Call once before pushing.
+  void Prepare();
+
+  // Pushes one tuple of a *source stream*; timestamps must be
+  // non-decreasing per call sequence.
+  void PushSource(StreamId stream, const Tuple& tuple);
+
+  // Pushes a channel tuple into a producer-less channel (source-group
+  // channels; paper §5.2 Workload 3 feeds channel C directly).
+  void PushChannel(ChannelId channel, const ChannelTuple& tuple);
+
+  // Tuples delivered to m-op inputs so far (scheduling work measure).
+  int64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct Route {
+    std::vector<ChannelEnd> consumers;
+    // Output slots: (channel slot, stream id) of streams marked as outputs.
+    std::vector<std::pair<int, StreamId>> output_slots;
+  };
+
+  class PortEmitter;
+
+  void Dispatch(ChannelId channel, const ChannelTuple& tuple);
+
+  Plan* plan_;
+  OutputSink* sink_;
+  bool prepared_ = false;
+  std::vector<Route> routes_;            // by channel id
+  std::vector<ChannelId> source_route_;  // by stream id (source streams)
+  int64_t deliveries_ = 0;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_EXECUTOR_H_

@@ -1,0 +1,35 @@
+// Plan explainer: human-readable report of an (optionally executed) plan —
+// per m-op type, member count, wiring, and runtime counters. The stream
+// equivalent of EXPLAIN ANALYZE; examples and the benchmark harness use it
+// to show what the optimizer did.
+#ifndef RUMOR_PLAN_EXPLAIN_H_
+#define RUMOR_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace rumor {
+
+struct ExplainOptions {
+  bool include_channels = true;
+  bool include_counters = true;  // tuples in/out per m-op (after a run)
+  bool include_outputs = true;
+};
+
+// Renders the plan. Counters are the Mop::tuples_in/out() values and are
+// zero before execution.
+std::string ExplainPlan(const Plan& plan,
+                        const ExplainOptions& options = ExplainOptions());
+
+// One-line summary: "#m-ops, #channels (max capacity), #queries".
+std::string SummarizePlan(const Plan& plan);
+
+// Graphviz DOT rendering of the plan (m-ops as nodes, channels as edges;
+// multi-stream channels annotated with their capacity). Pipe into
+// `dot -Tsvg` to visualise what the optimizer built.
+std::string PlanToDot(const Plan& plan);
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_EXPLAIN_H_

@@ -1,0 +1,15 @@
+#include "plan/metrics.h"
+
+#include <sstream>
+
+namespace rumor {
+
+std::string ThroughputResult::ToString() const {
+  std::ostringstream os;
+  os << events << " events in " << seconds << "s ("
+     << static_cast<int64_t>(EventsPerSecond()) << " ev/s), " << outputs
+     << " outputs";
+  return os.str();
+}
+
+}  // namespace rumor

@@ -1,0 +1,38 @@
+// Measurement helpers: wall-clock stopwatch and throughput accounting used
+// by the benchmark harness (paper §5 reports events/second).
+#ifndef RUMOR_PLAN_METRICS_H_
+#define RUMOR_PLAN_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace rumor {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+struct ThroughputResult {
+  int64_t events = 0;
+  int64_t outputs = 0;
+  double seconds = 0.0;
+
+  double EventsPerSecond() const {
+    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
+  }
+  std::string ToString() const;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_METRICS_H_

@@ -1,0 +1,236 @@
+#include "plan/plan.h"
+
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace rumor {
+
+ChannelId Plan::AddChannel(std::vector<StreamId> streams, Schema schema) {
+  RUMOR_CHECK(!streams.empty());
+  for (StreamId s : streams) {
+    RUMOR_CHECK(streams_.SchemaOf(s).CompatibleWith(schema))
+        << "channel streams must be union-compatible";
+  }
+  ChannelId id = static_cast<ChannelId>(channels_.size());
+  channels_.emplace_back(id, std::move(streams), std::move(schema));
+  return id;
+}
+
+ChannelId Plan::SourceChannelOf(StreamId stream) {
+  if (auto existing = FindSourceChannel(stream)) return *existing;
+  RUMOR_CHECK(streams_.Get(stream).is_source);
+  ChannelId id = AddChannel({stream}, streams_.SchemaOf(stream));
+  source_channels_.push_back({stream, id});
+  return id;
+}
+
+std::optional<ChannelId> Plan::FindSourceChannel(StreamId stream) const {
+  for (const auto& [s, c] : source_channels_) {
+    if (s == stream) return c;
+  }
+  return std::nullopt;
+}
+
+ChannelId Plan::AddDerivedChannel(const std::string& name, Schema schema) {
+  StreamId s = streams_.AddDerived(
+      name.empty() ? StrCat("d", derived_counter_++) : name, schema);
+  return AddChannel({s}, streams_.SchemaOf(s));
+}
+
+MopId Plan::AddMop(std::unique_ptr<Mop> mop) {
+  RUMOR_CHECK(mop != nullptr);
+  MopId id = static_cast<MopId>(mops_.size());
+  mop->set_id(id);
+  mop_inputs_.push_back(
+      std::vector<ChannelId>(mop->num_inputs(), kInvalidChannel));
+  mop_outputs_.push_back(
+      std::vector<ChannelId>(mop->num_outputs(), kInvalidChannel));
+  mops_.push_back(std::move(mop));
+  return id;
+}
+
+void Plan::RemoveMop(MopId id) {
+  RUMOR_CHECK(IsLive(id));
+  mops_[id].reset();
+  mop_inputs_[id].clear();
+  mop_outputs_[id].clear();
+}
+
+std::vector<MopId> Plan::LiveMops() const {
+  std::vector<MopId> out;
+  for (int i = 0; i < num_mops(); ++i) {
+    if (mops_[i] != nullptr) out.push_back(i);
+  }
+  return out;
+}
+
+void Plan::BindInput(MopId mop, int port, ChannelId channel) {
+  RUMOR_CHECK(IsLive(mop));
+  RUMOR_CHECK(port >= 0 && port < static_cast<int>(mop_inputs_[mop].size()));
+  RUMOR_CHECK(channel >= 0 && channel < num_channels());
+  mop_inputs_[mop][port] = channel;
+}
+
+void Plan::BindOutput(MopId mop, int port, ChannelId channel) {
+  RUMOR_CHECK(IsLive(mop));
+  RUMOR_CHECK(port >= 0 &&
+              port < static_cast<int>(mop_outputs_[mop].size()));
+  RUMOR_CHECK(channel >= 0 && channel < num_channels());
+  mop_outputs_[mop][port] = channel;
+}
+
+ChannelId Plan::input_channel(MopId mop, int port) const {
+  RUMOR_DCHECK(IsLive(mop));
+  return mop_inputs_[mop][port];
+}
+
+ChannelId Plan::output_channel(MopId mop, int port) const {
+  RUMOR_DCHECK(IsLive(mop));
+  return mop_outputs_[mop][port];
+}
+
+std::vector<ChannelEnd> Plan::ConsumersOf(ChannelId channel) const {
+  std::vector<ChannelEnd> out;
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (int p = 0; p < static_cast<int>(mop_inputs_[m].size()); ++p) {
+      if (mop_inputs_[m][p] == channel) out.push_back({m, p});
+    }
+  }
+  return out;
+}
+
+std::optional<ChannelEnd> Plan::ProducerOf(ChannelId channel) const {
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (int p = 0; p < static_cast<int>(mop_outputs_[m].size()); ++p) {
+      if (mop_outputs_[m][p] == channel) return ChannelEnd{m, p};
+    }
+  }
+  return std::nullopt;
+}
+
+void Plan::MarkOutput(StreamId stream, std::string query_name) {
+  outputs_.push_back({stream, std::move(query_name)});
+}
+
+std::optional<StreamId> Plan::OutputStreamOf(
+    const std::string& query_name) const {
+  for (const OutputDef& def : outputs_) {
+    if (def.query_name == query_name) return def.stream;
+  }
+  return std::nullopt;
+}
+
+void Plan::MoveConsumers(ChannelId from, ChannelId to) {
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (int p = 0; p < static_cast<int>(mop_inputs_[m].size()); ++p) {
+      if (mop_inputs_[m][p] == from) mop_inputs_[m][p] = to;
+    }
+  }
+}
+
+void Plan::RemapOutput(StreamId from, StreamId to) {
+  for (OutputDef& def : outputs_) {
+    if (def.stream == from) def.stream = to;
+  }
+}
+
+std::vector<ChannelId> Plan::SourceGroupChannels() const {
+  std::vector<ChannelId> out;
+  for (ChannelId c = 0; c < num_channels(); ++c) {
+    if (channels_[c].capacity() <= 1) continue;
+    if (ProducerOf(c).has_value()) continue;
+    bool all_sources = true;
+    for (StreamId s : channels_[c].streams()) {
+      all_sources &= streams_.Get(s).is_source;
+    }
+    if (all_sources) out.push_back(c);
+  }
+  return out;
+}
+
+void Plan::Validate() const {
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (size_t p = 0; p < mop_inputs_[m].size(); ++p) {
+      RUMOR_CHECK(mop_inputs_[m][p] != kInvalidChannel)
+          << mops_[m]->name() << " input port " << p << " unbound";
+    }
+    for (size_t p = 0; p < mop_outputs_[m].size(); ++p) {
+      RUMOR_CHECK(mop_outputs_[m][p] != kInvalidChannel)
+          << mops_[m]->name() << " output port " << p << " unbound";
+    }
+  }
+  // Each channel has at most one producer port.
+  std::vector<int> producers(channels_.size(), 0);
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (ChannelId c : mop_outputs_[m]) ++producers[c];
+  }
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    RUMOR_CHECK(producers[c] <= 1)
+        << "channel " << c << " has " << producers[c] << " producers";
+  }
+  // Acyclicity via DFS over mop -> consumer edges.
+  enum { kWhite, kGrey, kBlack };
+  std::vector<int> color(num_mops(), kWhite);
+  std::vector<std::vector<MopId>> succ(num_mops());
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (ChannelId c : mop_outputs_[m]) {
+      for (const ChannelEnd& end : ConsumersOf(c)) succ[m].push_back(end.mop);
+    }
+  }
+  // Iterative DFS.
+  for (int root = 0; root < num_mops(); ++root) {
+    if (mops_[root] == nullptr || color[root] != kWhite) continue;
+    std::vector<std::pair<MopId, size_t>> stack = {{root, 0}};
+    color[root] = kGrey;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      if (idx < succ[node].size()) {
+        MopId next = succ[node][idx++];
+        RUMOR_CHECK(color[next] != kGrey) << "plan contains a cycle";
+        if (color[next] == kWhite) {
+          color[next] = kGrey;
+          stack.push_back({next, 0});
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream os;
+  os << "Plan{\n";
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    os << "  " << mops_[m]->name() << " in=[";
+    for (size_t p = 0; p < mop_inputs_[m].size(); ++p) {
+      if (p) os << ",";
+      os << mop_inputs_[m][p];
+    }
+    os << "] out=[";
+    for (size_t p = 0; p < mop_outputs_[m].size(); ++p) {
+      if (p) os << ",";
+      os << mop_outputs_[m][p];
+    }
+    os << "]\n";
+  }
+  for (const ChannelDef& c : channels_) {
+    os << "  " << c.ToString() << "\n";
+  }
+  for (const OutputDef& o : outputs_) {
+    os << "  output " << o.query_name << " <- stream " << o.stream << "\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace rumor

@@ -1,0 +1,135 @@
+// Plan: a DAG of m-ops wired by channels (paper §2.1-§2.2: "a query plan …
+// implements all the currently active logical queries").
+//
+// Structure:
+//  * streams — logical stream definitions (StreamRegistry);
+//  * channels — each carries >= 1 streams; a plain stream is a capacity-1
+//    channel;
+//  * m-ops — nodes; each input/output *port* of an m-op binds to a channel;
+//  * source channels — capacity-1 channels with no producer m-op, fed by the
+//    executor;
+//  * outputs — streams marked as query results (the paper names a query's
+//    output stream after the query).
+//
+// M-rules rewrite the plan by replacing a set of m-ops with a target m-op
+// and rebinding the affected channel edges (paper §2.3); RemoveMop /
+// AddMop / Bind* are the primitives they use.
+#ifndef RUMOR_PLAN_PLAN_H_
+#define RUMOR_PLAN_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mop/mop.h"
+#include "stream/channel.h"
+#include "stream/stream.h"
+
+namespace rumor {
+
+// A (mop, port) endpoint of a channel edge.
+struct ChannelEnd {
+  MopId mop = kInvalidMop;
+  int port = -1;
+};
+
+class Plan {
+ public:
+  Plan() = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  StreamRegistry& streams() { return streams_; }
+  const StreamRegistry& streams() const { return streams_; }
+
+  // --- channels -------------------------------------------------------------
+  ChannelId AddChannel(std::vector<StreamId> streams, Schema schema);
+  const ChannelDef& channel(ChannelId id) const {
+    RUMOR_DCHECK(id >= 0 && id < num_channels());
+    return channels_[id];
+  }
+  int num_channels() const { return static_cast<int>(channels_.size()); }
+  // The capacity-1 channel of a source stream (created on first use).
+  ChannelId SourceChannelOf(StreamId stream);
+  std::optional<ChannelId> FindSourceChannel(StreamId stream) const;
+
+  // Convenience: derived stream + capacity-1 channel in one step.
+  ChannelId AddDerivedChannel(const std::string& name, Schema schema);
+
+  // --- m-ops ----------------------------------------------------------------
+  MopId AddMop(std::unique_ptr<Mop> mop);
+  // Tombstones the m-op and clears its bindings.
+  void RemoveMop(MopId id);
+  bool IsLive(MopId id) const {
+    return id >= 0 && id < num_mops() && mops_[id] != nullptr;
+  }
+  Mop& mop(MopId id) {
+    RUMOR_DCHECK(IsLive(id));
+    return *mops_[id];
+  }
+  const Mop& mop(MopId id) const {
+    RUMOR_DCHECK(IsLive(id));
+    return *mops_[id];
+  }
+  int num_mops() const { return static_cast<int>(mops_.size()); }
+  // Ids of all live m-ops.
+  std::vector<MopId> LiveMops() const;
+
+  // --- wiring ---------------------------------------------------------------
+  void BindInput(MopId mop, int port, ChannelId channel);
+  void BindOutput(MopId mop, int port, ChannelId channel);
+  ChannelId input_channel(MopId mop, int port) const;
+  ChannelId output_channel(MopId mop, int port) const;
+  const std::vector<ChannelId>& input_channels(MopId mop) const {
+    return mop_inputs_[mop];
+  }
+  const std::vector<ChannelId>& output_channels(MopId mop) const {
+    return mop_outputs_[mop];
+  }
+
+  // Consumers of a channel (derived; O(#mops)).
+  std::vector<ChannelEnd> ConsumersOf(ChannelId channel) const;
+  // Producer of a channel, or nullopt for source channels.
+  std::optional<ChannelEnd> ProducerOf(ChannelId channel) const;
+
+  // Rebinds every input port reading `from` to read `to` (rule rewiring).
+  void MoveConsumers(ChannelId from, ChannelId to);
+  // Re-points query-output marks from one stream to another (CSE dedup).
+  void RemapOutput(StreamId from, StreamId to);
+  // Producer-less channels of capacity > 1 encoding only source streams
+  // (created by the channel rule over sharable sources; fed directly via
+  // Executor::PushChannel).
+  std::vector<ChannelId> SourceGroupChannels() const;
+
+  // --- outputs ---------------------------------------------------------------
+  struct OutputDef {
+    StreamId stream;
+    std::string query_name;
+  };
+  void MarkOutput(StreamId stream, std::string query_name);
+  const std::vector<OutputDef>& outputs() const { return outputs_; }
+  // Current output stream of a query (CSE may remap streams after
+  // compilation, so use this rather than a compile-time CompiledQuery).
+  std::optional<StreamId> OutputStreamOf(const std::string& query_name) const;
+
+  // --- diagnostics -----------------------------------------------------------
+  // Internal consistency: ports fully bound, schemas compatible along
+  // edges, DAG (no cycles). CHECK-fails with a message on violation.
+  void Validate() const;
+  std::string ToString() const;
+
+ private:
+  StreamRegistry streams_;
+  std::vector<ChannelDef> channels_;
+  std::vector<std::unique_ptr<Mop>> mops_;
+  std::vector<std::vector<ChannelId>> mop_inputs_;
+  std::vector<std::vector<ChannelId>> mop_outputs_;
+  std::vector<std::pair<StreamId, ChannelId>> source_channels_;
+  std::vector<OutputDef> outputs_;
+  int derived_counter_ = 0;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_PLAN_H_

@@ -1,0 +1,146 @@
+#include "query/builder.h"
+
+#include "expr/parser_expr.h"
+
+namespace rumor {
+
+QueryBuilder QueryBuilder::FromSource(std::string name, Schema schema,
+                                      int sharable_label) {
+  return QueryBuilder(
+      QueryNode::Source(std::move(name), std::move(schema), sharable_label));
+}
+
+QueryBuilder QueryBuilder::FromNode(QueryNodePtr node) {
+  RUMOR_CHECK(node != nullptr);
+  return QueryBuilder(std::move(node));
+}
+
+std::string QueryBuilder::SideAlias() const {
+  if (node_->op() == QueryOp::kSource) return node_->source_name();
+  return "";
+}
+
+ExprPtr QueryBuilder::ParseUnary(const std::string& text) const {
+  ExprParseContext ctx;
+  ctx.bindings.push_back({"", Side::kLeft, &schema(), 0});
+  std::string alias = SideAlias();
+  if (!alias.empty()) {
+    ctx.bindings.push_back({alias, Side::kLeft, &schema(), 0});
+  }
+  auto e = ParseExpr(text, ctx);
+  RUMOR_CHECK(e.ok()) << "bad predicate '" << text
+                      << "': " << e.status().ToString();
+  return e.value();
+}
+
+ExprPtr QueryBuilder::ParseBinary(const std::string& text,
+                                  const QueryBuilder& right,
+                                  bool iterate) const {
+  ExprParseContext ctx;
+  const Schema& ls = schema();
+  const Schema& rs = right.schema();
+  ctx.bindings.push_back({"left", Side::kLeft, &ls, 0});
+  ctx.bindings.push_back({"l", Side::kLeft, &ls, 0});
+  std::string la = SideAlias();
+  if (!la.empty()) ctx.bindings.push_back({la, Side::kLeft, &ls, 0});
+  if (iterate) {
+    // `last` = instance last-part, at offset |left schema| on the left side.
+    ctx.bindings.push_back({"last", Side::kLeft, &rs, ls.size()});
+  }
+  ctx.bindings.push_back({"right", Side::kRight, &rs, 0});
+  ctx.bindings.push_back({"r", Side::kRight, &rs, 0});
+  std::string ra = right.SideAlias();
+  if (!ra.empty()) ctx.bindings.push_back({ra, Side::kRight, &rs, 0});
+  auto e = ParseExpr(text, ctx);
+  RUMOR_CHECK(e.ok()) << "bad predicate '" << text
+                      << "': " << e.status().ToString();
+  return e.value();
+}
+
+QueryBuilder QueryBuilder::Select(ExprPtr predicate) const {
+  return QueryBuilder(QueryNode::Select(node_, std::move(predicate)));
+}
+
+QueryBuilder QueryBuilder::Select(const std::string& text) const {
+  return Select(ParseUnary(text));
+}
+
+QueryBuilder QueryBuilder::Project(SchemaMap map) const {
+  return QueryBuilder(QueryNode::Project(node_, std::move(map)));
+}
+
+QueryBuilder QueryBuilder::Project(
+    const std::vector<std::string>& attrs) const {
+  std::vector<int> indexes;
+  for (const std::string& a : attrs) {
+    auto idx = schema().IndexOf(a);
+    RUMOR_CHECK(idx.has_value()) << "unknown attribute '" << a << "'";
+    indexes.push_back(*idx);
+  }
+  return Project(SchemaMap::Project(schema(), indexes));
+}
+
+QueryBuilder QueryBuilder::Aggregate(AggFn fn, const std::string& agg_attr,
+                                     const std::vector<std::string>& group_by,
+                                     int64_t window) const {
+  int attr = -1;
+  if (fn != AggFn::kCount) {
+    auto idx = schema().IndexOf(agg_attr);
+    RUMOR_CHECK(idx.has_value()) << "unknown attribute '" << agg_attr << "'";
+    attr = *idx;
+  }
+  std::vector<int> groups;
+  for (const std::string& g : group_by) {
+    auto idx = schema().IndexOf(g);
+    RUMOR_CHECK(idx.has_value()) << "unknown group-by attribute '" << g
+                                 << "'";
+    groups.push_back(*idx);
+  }
+  return QueryBuilder(
+      QueryNode::Aggregate(node_, fn, attr, std::move(groups), window));
+}
+
+QueryBuilder QueryBuilder::Count(const std::vector<std::string>& group_by,
+                                 int64_t window) const {
+  return Aggregate(AggFn::kCount, "", group_by, window);
+}
+
+QueryBuilder QueryBuilder::Join(const QueryBuilder& right, ExprPtr predicate,
+                                int64_t left_window,
+                                int64_t right_window) const {
+  return QueryBuilder(QueryNode::Join(node_, right.node_, std::move(predicate),
+                                      left_window, right_window));
+}
+
+QueryBuilder QueryBuilder::Join(const QueryBuilder& right,
+                                const std::string& text, int64_t left_window,
+                                int64_t right_window) const {
+  return Join(right, ParseBinary(text, right, /*iterate=*/false), left_window,
+              right_window);
+}
+
+QueryBuilder QueryBuilder::Sequence(const QueryBuilder& right,
+                                    ExprPtr predicate, int64_t window) const {
+  return QueryBuilder(
+      QueryNode::Sequence(node_, right.node_, std::move(predicate), window));
+}
+
+QueryBuilder QueryBuilder::Sequence(const QueryBuilder& right,
+                                    const std::string& text,
+                                    int64_t window) const {
+  return Sequence(right, ParseBinary(text, right, /*iterate=*/false), window);
+}
+
+QueryBuilder QueryBuilder::Iterate(const QueryBuilder& right,
+                                   ExprPtr predicate, int64_t window) const {
+  return QueryBuilder(
+      QueryNode::Iterate(node_, right.node_, std::move(predicate), window));
+}
+
+QueryBuilder QueryBuilder::Iterate(const QueryBuilder& right,
+                                   const std::string& text,
+                                   int64_t window) const {
+  return Iterate(right, ParseBinary(text, right, /*iterate=*/true), window);
+}
+
+}  // namespace rumor

@@ -1,0 +1,81 @@
+// Fluent builder for logical queries. Text predicates are parsed against the
+// current node's schema (plus `last` for Iterate; see query.h conventions):
+//
+//   Query q = QueryBuilder::FromSource("CPU", schema)
+//                 .Aggregate(AggFn::kAvg, "load", {"pid"}, 5)
+//                 .Select("avg_load < 20")
+//                 .Build("Q1");
+#ifndef RUMOR_QUERY_BUILDER_H_
+#define RUMOR_QUERY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace rumor {
+
+class QueryBuilder {
+ public:
+  // Starts from a named source stream.
+  static QueryBuilder FromSource(std::string name, Schema schema,
+                                 int sharable_label = -1);
+  // Starts from an existing logical subtree.
+  static QueryBuilder FromNode(QueryNodePtr node);
+
+  const QueryNodePtr& node() const { return node_; }
+  const Schema& schema() const { return node_->output_schema(); }
+
+  // --- unary operators -----------------------------------------------------
+  QueryBuilder Select(ExprPtr predicate) const;
+  // Bare attribute names resolve against the current schema; the current
+  // source name (if the node is a source) is usable as a qualifier.
+  QueryBuilder Select(const std::string& predicate_text) const;
+  QueryBuilder Project(SchemaMap map) const;
+  // Projection by attribute names.
+  QueryBuilder Project(const std::vector<std::string>& attrs) const;
+  QueryBuilder Aggregate(AggFn fn, const std::string& agg_attr,
+                         const std::vector<std::string>& group_by,
+                         int64_t window) const;
+  // COUNT(*) convenience.
+  QueryBuilder Count(const std::vector<std::string>& group_by,
+                     int64_t window) const;
+
+  // --- binary operators ----------------------------------------------------
+  // For text predicates the aliases are: "left"/"l" (or the left source
+  // name) and "right"/"r" (or the right source name); Iterate additionally
+  // binds "last" to the instance's last-part.
+  QueryBuilder Join(const QueryBuilder& right, ExprPtr predicate,
+                    int64_t left_window, int64_t right_window) const;
+  QueryBuilder Join(const QueryBuilder& right,
+                    const std::string& predicate_text, int64_t left_window,
+                    int64_t right_window) const;
+  QueryBuilder Sequence(const QueryBuilder& right, ExprPtr predicate,
+                        int64_t window) const;
+  QueryBuilder Sequence(const QueryBuilder& right,
+                        const std::string& predicate_text,
+                        int64_t window) const;
+  QueryBuilder Iterate(const QueryBuilder& right, ExprPtr predicate,
+                       int64_t window) const;
+  QueryBuilder Iterate(const QueryBuilder& right,
+                       const std::string& predicate_text,
+                       int64_t window) const;
+
+  Query Build(std::string name) const { return Query{std::move(name), node_}; }
+
+ private:
+  explicit QueryBuilder(QueryNodePtr node) : node_(std::move(node)) {}
+
+  // Parses text with this builder's unary context / a binary context.
+  ExprPtr ParseUnary(const std::string& text) const;
+  ExprPtr ParseBinary(const std::string& text, const QueryBuilder& right,
+                      bool iterate) const;
+  // Alias for the node when used as a side of a binary op.
+  std::string SideAlias() const;
+
+  QueryNodePtr node_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_QUERY_BUILDER_H_

@@ -1,0 +1,77 @@
+// RQL — the small textual query language of this library. It covers the
+// CQL-style, event-pattern, and hybrid queries of the paper:
+//
+//   -- relational, with sliding window + group-by
+//   SMOOTHED: SELECT pid, AVG(load) FROM CPU [RANGE 5] GROUP BY pid;
+//
+//   -- window join
+//   J: SELECT * FROM S [RANGE 100] JOIN T [RANGE 100] ON S.a0 = T.a0;
+//
+//   -- event pattern (Cayuga ; and µ), with duration bound
+//   P: SELECT * FROM S SEQ T ON S.a0 = 3 AND T.a0 = 5 WITHIN 100;
+//   M: SELECT * FROM S ITERATE T ON S.a0 = T.a0 AND T.a1 > last.a1
+//      WITHIN 100;
+//
+//   -- hybrid: subqueries and references to previously defined queries
+//   Q1: SELECT * FROM (SELECT * FROM SMOOTHED WHERE avg_load < 20) AS B
+//       ITERATE SMOOTHED AS E ON B.pid = E.pid AND E.avg_load > last.avg_load
+//       WITHIN 60 WHERE last.avg_load > 10;
+//
+// Grammar (keywords case-insensitive):
+//   script    := stmt (';' stmt)* [';']
+//   stmt      := [name ':'] query
+//   query     := SELECT sel_list FROM from_expr [WHERE expr]
+//                [GROUP BY ident_list]
+//   sel_list  := '*' | sel_item (',' sel_item)*
+//   sel_item  := ident | AGGFN '(' (ident|'*') ')'
+//   from_expr := term
+//              | term JOIN term ON expr
+//              | term (SEQ | ITERATE) term ON expr [WITHIN int]
+//   term      := ident ['[' RANGE int ']'] [AS ident]
+//              | '(' query ')' [AS ident]
+//
+// `ident` in FROM resolves to a catalog source stream or a previously
+// defined query of the same script (logical inlining; the optimizer then
+// re-shares the copies via m-rules).
+#ifndef RUMOR_QUERY_PARSER_H_
+#define RUMOR_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace rumor {
+
+// Known source streams (and, during script parsing, named queries).
+class Catalog {
+ public:
+  void AddSource(const std::string& name, Schema schema,
+                 int sharable_label = -1);
+  void AddQuery(const Query& query);
+
+  // Subtree for `name`: a fresh Source node for sources, the defining
+  // subtree for named queries; nullptr if unknown.
+  QueryNodePtr Resolve(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    QueryNodePtr node;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Parses one query (no name prefix, no trailing ';').
+Result<Query> ParseQuery(const std::string& text, const Catalog& catalog);
+
+// Parses a ';'-separated script of (optionally named) queries. Later
+// statements may reference earlier ones by name. Unnamed queries are named
+// Q<k> by position.
+Result<std::vector<Query>> ParseScript(const std::string& text,
+                                       const Catalog& catalog);
+
+}  // namespace rumor
+
+#endif  // RUMOR_QUERY_PARSER_H_

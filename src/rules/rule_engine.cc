@@ -1,0 +1,79 @@
+#include "rules/rule_engine.h"
+
+#include <sstream>
+
+namespace rumor {
+
+std::string OptimizeStats::ToString() const {
+  std::ostringstream os;
+  os << "OptimizeStats{cse=" << cse_merges
+     << " sσ=" << predicate_index_merges
+     << " sα=" << shared_aggregate_merges << " s⋈=" << shared_join_merges
+     << " c*=" << channel_merges << " rounds=" << rounds << "}";
+  return os.str();
+}
+
+std::vector<int> RuleEngine::Run(Plan* plan, const SharableAnalysis& sharable,
+                                 int max_rounds) {
+  std::vector<int> merges(rules_.size(), 0);
+  for (int round = 0; round < max_rounds; ++round) {
+    int round_merges = 0;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      int n = rules_[i]->ApplyAll(plan, sharable);
+      merges[i] += n;
+      round_merges += n;
+    }
+    if (round_merges == 0) break;
+  }
+  return merges;
+}
+
+OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options) {
+  SharableAnalysis sharable(*plan);
+
+  RuleEngine engine;
+  // Registration order = priority order.
+  std::vector<int> which;  // maps engine slot -> stats slot
+  if (options.enable_cse) {
+    engine.AddRule(std::make_unique<CseRule>());
+    which.push_back(0);
+  }
+  auto add_channels = [&] {
+    if (options.enable_channels) {
+      engine.AddRule(std::make_unique<ChannelRule>());
+      which.push_back(4);
+    }
+  };
+  if (options.channel_rules_first) add_channels();
+  if (options.enable_predicate_index) {
+    engine.AddRule(std::make_unique<PredicateIndexRule>());
+    which.push_back(1);
+  }
+  if (options.enable_shared_aggregate) {
+    engine.AddRule(std::make_unique<SharedAggregateRule>());
+    which.push_back(2);
+  }
+  if (options.enable_shared_join) {
+    engine.AddRule(std::make_unique<SharedJoinRule>());
+    which.push_back(3);
+  }
+  if (!options.channel_rules_first) add_channels();
+
+  std::vector<int> merges = engine.Run(plan, sharable, options.max_rounds);
+
+  OptimizeStats stats;
+  for (size_t i = 0; i < merges.size(); ++i) {
+    switch (which[i]) {
+      case 0: stats.cse_merges += merges[i]; break;
+      case 1: stats.predicate_index_merges += merges[i]; break;
+      case 2: stats.shared_aggregate_merges += merges[i]; break;
+      case 3: stats.shared_join_merges += merges[i]; break;
+      case 4: stats.channel_merges += merges[i]; break;
+    }
+  }
+  stats.rounds = options.max_rounds;
+  plan->Validate();
+  return stats;
+}
+
+}  // namespace rumor

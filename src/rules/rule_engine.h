@@ -1,0 +1,71 @@
+// RuleEngine: priority-ordered, fixpoint application of m-rules (paper §2.3
+// and §7: rule priorities establish the application order; no cost model —
+// the paper defers cost-based MQO to future work).
+//
+// Default priority order (matches the derivation of §4.4):
+//   1. CSE (s;/sµ + exact duplicates of every operator type),
+//   2. same-stream rules (sσ, sα, s⋈),
+//   3. channel mapping + channel rules (cσ, cπ, cα, c⋈, c;, cµ).
+#ifndef RUMOR_RULES_RULE_ENGINE_H_
+#define RUMOR_RULES_RULE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace rumor {
+
+struct OptimizerOptions {
+  bool enable_cse = true;
+  bool enable_predicate_index = true;  // sσ
+  bool enable_shared_aggregate = true;  // sα
+  bool enable_shared_join = true;       // s⋈
+  bool enable_channels = true;          // the c-family
+  // Paper §3.3: several m-rules can be applicable to the same operators
+  // (the shaded region X of Fig. 2/3), and different application orders can
+  // yield different plans. This flag flips the channel rules ahead of the
+  // same-stream rules; plans may differ, query outputs must not (tested).
+  bool channel_rules_first = false;
+  int max_rounds = 8;
+};
+
+struct OptimizeStats {
+  int cse_merges = 0;
+  int predicate_index_merges = 0;
+  int shared_aggregate_merges = 0;
+  int shared_join_merges = 0;
+  int channel_merges = 0;
+  int rounds = 0;
+
+  int total() const {
+    return cse_merges + predicate_index_merges + shared_aggregate_merges +
+           shared_join_merges + channel_merges;
+  }
+  std::string ToString() const;
+};
+
+// Extensible engine: rules run in registration order each round, until a
+// round performs no merge (or max_rounds).
+class RuleEngine {
+ public:
+  void AddRule(std::unique_ptr<MRule> rule) {
+    rules_.push_back(std::move(rule));
+  }
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  // Returns per-rule merge counts, in registration order.
+  std::vector<int> Run(Plan* plan, const SharableAnalysis& sharable,
+                       int max_rounds);
+
+ private:
+  std::vector<std::unique_ptr<MRule>> rules_;
+};
+
+// Computes SharableAnalysis on `plan`, registers the Table-1 rules enabled
+// in `options`, and runs the engine to a fixpoint.
+OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options = {});
+
+}  // namespace rumor
+
+#endif  // RUMOR_RULES_RULE_ENGINE_H_

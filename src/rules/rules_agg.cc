@@ -1,0 +1,54 @@
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "mop/aggregate_mop.h"
+#include "rules/rule.h"
+
+namespace rumor {
+
+// sα (paper Table 1, [Zhang 05]): aggregation operators reading the same
+// stream with the same aggregate function and attribute — but possibly
+// different group-by specifications and window lengths — share one entry
+// log with per-member cursors. Members keep their original output channels.
+int SharedAggregateRule::ApplyAll(Plan* plan, const SharableAnalysis&) {
+  std::unordered_map<uint64_t, std::vector<MopId>> groups;
+  for (MopId id : plan->LiveMops()) {
+    const Mop& m = plan->mop(id);
+    if (m.type() != MopType::kAggregate || m.num_members() != 1 ||
+        m.num_outputs() != 1) {
+      continue;
+    }
+    const auto& agg = static_cast<const AggregateMop&>(m);
+    const AggMemberSpec& spec = agg.member(0).spec;
+    uint64_t key =
+        Mix64(static_cast<uint64_t>(plan->input_channel(id, 0)));
+    key = HashCombine(key, static_cast<uint64_t>(spec.fn));
+    key = HashCombine(key, static_cast<uint64_t>(spec.attr));
+    key = HashCombine(key, static_cast<uint64_t>(agg.member(0).input_slot));
+    groups[key].push_back(id);
+  }
+  int merges = 0;
+  for (auto& [key, ids] : groups) {
+    if (ids.size() < 2) continue;
+    std::vector<AggregateMop::Member> members;
+    std::vector<ChannelId> outputs;
+    for (MopId id : ids) {
+      const auto& agg = static_cast<const AggregateMop&>(plan->mop(id));
+      members.push_back(agg.member(0));
+      outputs.push_back(plan->output_channel(id, 0));
+    }
+    ChannelId input = plan->input_channel(ids[0], 0);
+    MopId target = plan->AddMop(std::make_unique<AggregateMop>(
+        std::move(members), AggregateMop::Sharing::kShared,
+        OutputMode::kPerMemberPorts));
+    plan->BindInput(target, 0, input);
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      plan->BindOutput(target, static_cast<int>(i), outputs[i]);
+    }
+    for (MopId id : ids) plan->RemoveMop(id);
+    ++merges;
+  }
+  return merges;
+}
+
+}  // namespace rumor

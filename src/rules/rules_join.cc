@@ -1,0 +1,56 @@
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "mop/join_mop.h"
+#include "rules/rule.h"
+
+namespace rumor {
+
+// s⋈ (paper Table 1, [Hammad 03]): join operators reading the same two
+// streams with the same join predicate but potentially different window
+// lengths share one join state; matches are routed per member by window
+// coverage. Members keep their original output channels.
+int SharedJoinRule::ApplyAll(Plan* plan, const SharableAnalysis&) {
+  std::unordered_map<uint64_t, std::vector<MopId>> groups;
+  for (MopId id : plan->LiveMops()) {
+    const Mop& m = plan->mop(id);
+    if (m.type() != MopType::kJoin || m.num_members() != 1 ||
+        m.num_outputs() != 1) {
+      continue;
+    }
+    const auto& join = static_cast<const JoinMop&>(m);
+    const JoinMop::Member& member = join.member(0);
+    uint64_t key = Mix64(static_cast<uint64_t>(plan->input_channel(id, 0)));
+    key = HashCombine(key, static_cast<uint64_t>(plan->input_channel(id, 1)));
+    key = HashCombine(key, member.def.PredicateOnlySignature());
+    key = HashCombine(key, static_cast<uint64_t>(member.left_slot));
+    key = HashCombine(key, static_cast<uint64_t>(member.right_slot));
+    groups[key].push_back(id);
+  }
+  int merges = 0;
+  for (auto& [key, ids] : groups) {
+    if (ids.size() < 2) continue;
+    std::vector<JoinMop::Member> members;
+    std::vector<ChannelId> outputs;
+    for (MopId id : ids) {
+      const auto& join = static_cast<const JoinMop&>(plan->mop(id));
+      members.push_back(join.member(0));
+      outputs.push_back(plan->output_channel(id, 0));
+    }
+    ChannelId left = plan->input_channel(ids[0], 0);
+    ChannelId right = plan->input_channel(ids[0], 1);
+    MopId target = plan->AddMop(std::make_unique<JoinMop>(
+        std::move(members), JoinMop::Sharing::kShared,
+        OutputMode::kPerMemberPorts));
+    plan->BindInput(target, 0, left);
+    plan->BindInput(target, 1, right);
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      plan->BindOutput(target, static_cast<int>(i), outputs[i]);
+    }
+    for (MopId id : ids) plan->RemoveMop(id);
+    ++merges;
+  }
+  return merges;
+}
+
+}  // namespace rumor

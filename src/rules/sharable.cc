@@ -1,0 +1,88 @@
+#include "rules/sharable.h"
+
+#include "common/hash.h"
+
+namespace rumor {
+
+namespace {
+
+// Domain tags keep source / operator signatures from colliding.
+constexpr uint64_t kTagLabeledSource = 0x517a;
+constexpr uint64_t kTagUniqueSource = 0x9b3f;
+constexpr uint64_t kTagOperator = 0x2ee1;
+
+}  // namespace
+
+SharableAnalysis::SharableAnalysis(const Plan& plan)
+    : signatures_(plan.streams().size(), 0),
+      computing_(plan.streams().size(), false) {
+  for (StreamId s = 0; s < plan.streams().size(); ++s) {
+    Compute(plan, s);
+  }
+}
+
+bool SharableAnalysis::AllSharable(
+    const std::vector<StreamId>& streams) const {
+  for (size_t i = 1; i < streams.size(); ++i) {
+    if (!Sharable(streams[0], streams[i])) return false;
+  }
+  return true;
+}
+
+uint64_t SharableAnalysis::Compute(const Plan& plan, StreamId stream) {
+  if (signatures_[stream] != 0) return signatures_[stream];
+  RUMOR_CHECK(!computing_[stream]) << "cycle in stream derivation";
+  computing_[stream] = true;
+
+  const StreamDef& def = plan.streams().Get(stream);
+  uint64_t sig;
+  if (def.is_source) {
+    // Base case 2: sources with the same non-negative label are sharable;
+    // unlabeled sources are sharable only with themselves (base case 1).
+    sig = def.sharable_label >= 0
+              ? HashCombine(Mix64(kTagLabeledSource),
+                            static_cast<uint64_t>(def.sharable_label))
+              : HashCombine(Mix64(kTagUniqueSource),
+                            static_cast<uint64_t>(stream));
+  } else {
+    // Find the producing (mop, port). Derived streams in a compiled plan
+    // live in exactly one capacity-1 channel with one producer.
+    std::optional<ChannelEnd> producer;
+    for (ChannelId c = 0; c < plan.num_channels() && !producer; ++c) {
+      if (plan.channel(c).capacity() == 1 &&
+          plan.channel(c).stream_at(0) == stream) {
+        producer = plan.ProducerOf(c);
+      }
+    }
+    if (!producer.has_value()) {
+      // Unconnected derived stream: unique signature.
+      sig = HashCombine(Mix64(kTagUniqueSource),
+                        static_cast<uint64_t>(stream) ^ 0xdead);
+    } else {
+      const Mop& mop = plan.mop(producer->mop);
+      // Selection transparency: σ(T) ~ T.
+      if (mop.type() == MopType::kSelection ||
+          mop.type() == MopType::kPredicateIndex ||
+          mop.type() == MopType::kChannelSelect) {
+        ChannelId in = plan.input_channel(producer->mop, 0);
+        // In a compiled plan selection inputs are capacity-1.
+        sig = Compute(plan, plan.channel(in).stream_at(0));
+      } else {
+        uint64_t h = Mix64(kTagOperator);
+        h = HashCombine(h, static_cast<uint64_t>(mop.type()));
+        h = HashCombine(h, mop.MemberSignature(0));
+        for (int p = 0; p < mop.num_inputs(); ++p) {
+          ChannelId in = plan.input_channel(producer->mop, p);
+          h = HashCombine(h, Compute(plan, plan.channel(in).stream_at(0)));
+        }
+        sig = h;
+      }
+    }
+  }
+  if (sig == 0) sig = 1;  // reserve 0 for "unset"
+  computing_[stream] = false;
+  signatures_[stream] = sig;
+  return sig;
+}
+
+}  // namespace rumor

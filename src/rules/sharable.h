@@ -1,0 +1,55 @@
+// SharableAnalysis — the ~ equivalence relation on streams (paper §3.2).
+//
+// S1 ~ S2 is the least equivalence relation closed under:
+//   base 1:  S ~ S;
+//   base 2:  sources labeled sharable (same non-negative sharable_label);
+//   unary:   o(T1) ~ o(T2)        if o1 = o2 (same definition) and T1 ~ T2;
+//   binary:  o(T1,U1) ~ o(T2,U2)  likewise on both inputs;
+//   select:  σ(T) ~ T             (selections are transparent).
+//
+// Implemented with structural signatures: the signature of a stream strips
+// selection operators and hashes (operator type, operator definition, input
+// signatures); equal signature <=> sharable. Reflexivity, symmetry and
+// transitivity hold by construction of the equality relation on signatures.
+//
+// The analysis is computed once on the freshly compiled plan (single-member
+// reference m-ops); streams are never destroyed by rewrites, so signatures
+// stay valid while rules transform the plan.
+#ifndef RUMOR_RULES_SHARABLE_H_
+#define RUMOR_RULES_SHARABLE_H_
+
+#include <vector>
+
+#include "plan/plan.h"
+
+namespace rumor {
+
+class SharableAnalysis {
+ public:
+  // `plan` must be a compiled, not-yet-optimized plan.
+  explicit SharableAnalysis(const Plan& plan);
+
+  // Structural signature of a stream; equal signatures <=> sharable.
+  uint64_t SignatureOf(StreamId stream) const {
+    RUMOR_DCHECK(stream >= 0 &&
+                 stream < static_cast<StreamId>(signatures_.size()));
+    return signatures_[stream];
+  }
+
+  bool Sharable(StreamId a, StreamId b) const {
+    return SignatureOf(a) == SignatureOf(b);
+  }
+
+  // True if every stream in the list is pairwise sharable.
+  bool AllSharable(const std::vector<StreamId>& streams) const;
+
+ private:
+  uint64_t Compute(const Plan& plan, StreamId stream);
+
+  std::vector<uint64_t> signatures_;  // by stream id; 0 = not yet computed
+  std::vector<bool> computing_;       // cycle guard (plans are DAGs)
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_RULES_SHARABLE_H_

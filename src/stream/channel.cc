@@ -1,0 +1,26 @@
+#include "stream/channel.h"
+
+#include <sstream>
+
+namespace rumor {
+
+std::vector<std::pair<StreamId, Tuple>> ChannelDef::Decode(
+    const ChannelTuple& ct) const {
+  std::vector<std::pair<StreamId, Tuple>> out;
+  ct.membership.ForEach(
+      [&](int slot) { out.emplace_back(streams_[slot], ct.tuple); });
+  return out;
+}
+
+std::string ChannelDef::ToString() const {
+  std::ostringstream os;
+  os << "channel#" << id_ << "[";
+  for (int i = 0; i < capacity(); ++i) {
+    if (i > 0) os << ",";
+    os << streams_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rumor

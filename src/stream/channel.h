@@ -1,0 +1,93 @@
+// Channels (paper §3.1): a channel encodes a set of union-compatible streams
+// as their union, where every tuple carries a *membership component* — a bit
+// vector naming the encoded streams the tuple belongs to. Channels replace
+// streams as the inputs/outputs of m-ops; a plain stream is the special case
+// of a capacity-1 channel.
+#ifndef RUMOR_STREAM_CHANNEL_H_
+#define RUMOR_STREAM_CHANNEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/tuple.h"
+#include "stream/stream.h"
+
+namespace rumor {
+
+using ChannelId = int32_t;
+inline constexpr ChannelId kInvalidChannel = -1;
+
+// A tuple travelling on a channel: shared payload + membership over the
+// channel's stream slots. For capacity-1 channels the membership is the
+// single set bit {0}.
+struct ChannelTuple {
+  Tuple tuple;
+  BitVector membership;
+
+  std::string ToString() const {
+    return tuple.ToString() + membership.ToString();
+  }
+};
+
+// Static description of a channel: the ordered list of encoded streams.
+// Slot i of the membership bit vector refers to streams()[i].
+class ChannelDef {
+ public:
+  ChannelDef() = default;
+  ChannelDef(ChannelId id, std::vector<StreamId> streams, Schema schema)
+      : id_(id), streams_(std::move(streams)), schema_(std::move(schema)) {
+    RUMOR_CHECK(!streams_.empty()) << "channel must encode >= 1 stream";
+  }
+
+  ChannelId id() const { return id_; }
+  // Channel capacity = number of encoded streams (paper §5.2, Workload 3).
+  int capacity() const { return static_cast<int>(streams_.size()); }
+  const std::vector<StreamId>& streams() const { return streams_; }
+  StreamId stream_at(int slot) const {
+    RUMOR_DCHECK(slot >= 0 && slot < capacity());
+    return streams_[slot];
+  }
+  const Schema& schema() const { return schema_; }
+
+  // Slot of `stream` in this channel, or nullopt.
+  std::optional<int> SlotOf(StreamId stream) const {
+    for (int i = 0; i < capacity(); ++i) {
+      if (streams_[i] == stream) return i;
+    }
+    return std::nullopt;
+  }
+
+  // Encoding helpers -------------------------------------------------------
+  // Tuple belonging to every encoded stream.
+  ChannelTuple MakeBroadcast(Tuple t) const {
+    return ChannelTuple{std::move(t), BitVector::AllOnes(capacity())};
+  }
+  // Tuple belonging to a single slot.
+  ChannelTuple MakeSingleton(Tuple t, int slot) const {
+    return ChannelTuple{std::move(t), BitVector::Singleton(slot, capacity())};
+  }
+  // Tuple with explicit membership (CHECKs the size matches).
+  ChannelTuple MakeTuple(Tuple t, BitVector membership) const {
+    RUMOR_CHECK(membership.size() == capacity());
+    return ChannelTuple{std::move(t), std::move(membership)};
+  }
+
+  // Decoding: the per-stream view of a channel tuple — tuples of the streams
+  // the channel tuple belongs to (paper's decoding step). Mostly used by
+  // tests and reference m-ops; optimized m-ops work on memberships directly.
+  std::vector<std::pair<StreamId, Tuple>> Decode(const ChannelTuple& ct) const;
+
+  std::string ToString() const;
+
+ private:
+  ChannelId id_ = kInvalidChannel;
+  std::vector<StreamId> streams_;
+  Schema schema_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_STREAM_CHANNEL_H_

@@ -1,0 +1,45 @@
+#include "stream/stream.h"
+
+namespace rumor {
+
+StreamId StreamRegistry::AddSource(const std::string& name, Schema schema,
+                                   int sharable_label) {
+  RUMOR_CHECK(!FindSource(name).has_value())
+      << "duplicate source stream '" << name << "'";
+  StreamDef def;
+  def.id = static_cast<StreamId>(streams_.size());
+  def.name = name;
+  def.schema = std::move(schema);
+  def.is_source = true;
+  def.sharable_label = sharable_label;
+  streams_.push_back(std::move(def));
+  return streams_.back().id;
+}
+
+StreamId StreamRegistry::AddDerived(const std::string& name, Schema schema) {
+  StreamDef def;
+  def.id = static_cast<StreamId>(streams_.size());
+  def.name = name;
+  def.schema = std::move(schema);
+  def.is_source = false;
+  streams_.push_back(std::move(def));
+  return streams_.back().id;
+}
+
+std::optional<StreamId> StreamRegistry::FindSource(
+    const std::string& name) const {
+  for (const StreamDef& def : streams_) {
+    if (def.is_source && def.name == name) return def.id;
+  }
+  return std::nullopt;
+}
+
+std::vector<StreamId> StreamRegistry::Sources() const {
+  std::vector<StreamId> out;
+  for (const StreamDef& def : streams_) {
+    if (def.is_source) out.push_back(def.id);
+  }
+  return out;
+}
+
+}  // namespace rumor

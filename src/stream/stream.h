@@ -1,0 +1,66 @@
+// Stream definitions. A *stream* is a logical, schema-typed sequence of
+// timestamped tuples. Source streams enter the system from outside; derived
+// streams are produced by operators. Channels (channel.h) generalize streams
+// and are what m-ops actually read and write at runtime; a plain stream is
+// carried by a capacity-1 channel.
+//
+// Source streams carry an optional `sharable_label`: sources with the same
+// non-negative label are declared sharable (paper §3.2, base case 2), the
+// seed of the ~ equivalence relation.
+#ifndef RUMOR_STREAM_STREAM_H_
+#define RUMOR_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+
+namespace rumor {
+
+using StreamId = int32_t;
+inline constexpr StreamId kInvalidStream = -1;
+
+struct StreamDef {
+  StreamId id = kInvalidStream;
+  std::string name;
+  Schema schema;
+  bool is_source = false;
+  // Sources only: same non-negative label <=> declared sharable.
+  int sharable_label = -1;
+};
+
+// Owns all stream definitions of a plan. StreamIds are dense indexes.
+class StreamRegistry {
+ public:
+  StreamRegistry() = default;
+
+  // Registers a source stream; names must be unique among sources.
+  StreamId AddSource(const std::string& name, Schema schema,
+                     int sharable_label = -1);
+
+  // Registers a derived (operator-produced) stream.
+  StreamId AddDerived(const std::string& name, Schema schema);
+
+  int size() const { return static_cast<int>(streams_.size()); }
+  const StreamDef& Get(StreamId id) const {
+    RUMOR_DCHECK(id >= 0 && id < size()) << "bad stream id " << id;
+    return streams_[id];
+  }
+  const Schema& SchemaOf(StreamId id) const { return Get(id).schema; }
+
+  // Source stream by name.
+  std::optional<StreamId> FindSource(const std::string& name) const;
+
+  // All source stream ids.
+  std::vector<StreamId> Sources() const;
+
+ private:
+  std::vector<StreamDef> streams_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_STREAM_STREAM_H_

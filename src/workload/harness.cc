@@ -1,0 +1,69 @@
+#include "workload/harness.h"
+
+namespace rumor {
+
+RumorRun RunRumor(const std::vector<Query>& queries,
+                  const OptimizerOptions& options,
+                  const std::vector<Event>& events, int64_t warmup,
+                  const std::vector<std::string>& stream_names) {
+  RumorRun run;
+  Plan plan;
+  auto compiled = CompileQueries(queries, &plan);
+  RUMOR_CHECK(compiled.ok()) << compiled.status().ToString();
+  run.optimize_stats = Optimize(&plan, options);
+  run.live_mops = static_cast<int>(plan.LiveMops().size());
+
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  std::vector<StreamId> streams;
+  for (const std::string& name : stream_names) {
+    auto id = plan.streams().FindSource(name);
+    RUMOR_CHECK(id.has_value()) << "unknown source " << name;
+    streams.push_back(*id);
+  }
+
+  int64_t i = 0;
+  const int64_t n = static_cast<int64_t>(events.size());
+  for (; i < warmup && i < n; ++i) {
+    exec.PushSource(streams[events[i].stream], events[i].tuple);
+  }
+  const int64_t outputs_before = sink.total();
+  Stopwatch timer;
+  for (; i < n; ++i) {
+    exec.PushSource(streams[events[i].stream], events[i].tuple);
+  }
+  run.result.seconds = timer.ElapsedSeconds();
+  run.result.events = n - warmup;
+  run.result.outputs = sink.total() - outputs_before;
+  return run;
+}
+
+CayugaRun RunCayuga(const std::vector<CayugaAutomaton>& automata,
+                    const CayugaEngine::Options& options,
+                    const std::vector<Event>& events, int64_t warmup,
+                    const std::vector<std::string>& stream_names) {
+  CayugaRun run;
+  CayugaEngine engine(options);
+  for (const CayugaAutomaton& a : automata) engine.AddAutomaton(a);
+  run.num_nodes = engine.num_nodes();
+  int64_t outputs = 0;
+  engine.SetOutputHandler([&](int, const Tuple&) { ++outputs; });
+
+  int64_t i = 0;
+  const int64_t n = static_cast<int64_t>(events.size());
+  for (; i < warmup && i < n; ++i) {
+    engine.OnEvent(stream_names[events[i].stream], events[i].tuple);
+  }
+  const int64_t outputs_before = outputs;
+  Stopwatch timer;
+  for (; i < n; ++i) {
+    engine.OnEvent(stream_names[events[i].stream], events[i].tuple);
+  }
+  run.result.seconds = timer.ElapsedSeconds();
+  run.result.events = n - warmup;
+  run.result.outputs = outputs - outputs_before;
+  return run;
+}
+
+}  // namespace rumor

@@ -1,0 +1,46 @@
+// Measurement harness shared by the figure benchmarks: builds both engines
+// from one workload, warms them up, and measures steady-state throughput
+// (events/second), mirroring the paper's §5 methodology (warm-up iterations
+// before measuring; averaged repetitions live in the bench binaries).
+#ifndef RUMOR_WORKLOAD_HARNESS_H_
+#define RUMOR_WORKLOAD_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cayuga/engine.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "plan/metrics.h"
+#include "rules/rule_engine.h"
+#include "workload/synthetic.h"
+
+namespace rumor {
+
+// Runs a compiled+optimized RUMOR plan over interleaved S/T events.
+// `warmup` events are processed untimed, the rest timed.
+struct RumorRun {
+  OptimizeStats optimize_stats;
+  ThroughputResult result;
+  int live_mops = 0;
+};
+RumorRun RunRumor(const std::vector<Query>& queries,
+                  const OptimizerOptions& options,
+                  const std::vector<Event>& events, int64_t warmup,
+                  const std::vector<std::string>& stream_names = {"S", "T"});
+
+// Runs the Cayuga baseline over the same events.
+struct CayugaRun {
+  ThroughputResult result;
+  int num_nodes = 0;
+};
+CayugaRun RunCayuga(const std::vector<CayugaAutomaton>& automata,
+                    const CayugaEngine::Options& options,
+                    const std::vector<Event>& events, int64_t warmup,
+                    const std::vector<std::string>& stream_names = {"S",
+                                                                    "T"});
+
+}  // namespace rumor
+
+#endif  // RUMOR_WORKLOAD_HARNESS_H_

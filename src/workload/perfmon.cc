@@ -1,0 +1,88 @@
+#include "workload/perfmon.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace rumor {
+
+Schema PerfmonSchema() {
+  return Schema({{"pid", ValueType::kInt}, {"load", ValueType::kInt}});
+}
+
+std::vector<Tuple> GeneratePerfmonTrace(const PerfmonParams& params) {
+  Rng rng(params.seed);
+  struct ProcState {
+    double load = 10.0;
+    int64_t ramp_left = 0;
+  };
+  std::vector<ProcState> procs(params.num_processes);
+  for (ProcState& p : procs) p.load = 5.0 + rng.UniformDouble() * 20.0;
+
+  std::vector<Tuple> trace;
+  trace.reserve(params.duration_seconds * params.num_processes);
+  for (int64_t sec = 0; sec < params.duration_seconds; ++sec) {
+    for (int pid = 0; pid < params.num_processes; ++pid) {
+      ProcState& p = procs[pid];
+      if (p.ramp_left > 0) {
+        // Monotonic CPU ramp: the episodes the hybrid queries detect.
+        p.load = std::min(100.0, p.load + 2.0 + rng.UniformDouble() * 3.0);
+        --p.ramp_left;
+      } else {
+        if (rng.Bernoulli(params.ramp_start_probability)) {
+          p.ramp_left = params.ramp_length;
+        }
+        // Mean-reverting noise around a baseline of ~15%.
+        p.load += (15.0 - p.load) * 0.1 + (rng.UniformDouble() - 0.5) * 8.0;
+        p.load = std::clamp(p.load, 0.0, 100.0);
+      }
+      trace.push_back(Tuple::Make(
+          {Value(static_cast<int64_t>(pid)),
+           Value(static_cast<int64_t>(p.load))},
+          sec));
+    }
+  }
+  return trace;
+}
+
+Query MakeHybridQuery(int query_index, double sel, int64_t smooth_window) {
+  Schema cpu = PerfmonSchema();
+  QueryNodePtr src = QueryNode::Source("CPU", cpu);
+  // SMOOTHED: per-pid sliding average of the load.
+  QueryNodePtr smoothed = QueryNode::Aggregate(
+      src, AggFn::kAvg, /*agg_attr=*/1, /*group_by=*/{0}, smooth_window);
+  // smoothed schema: (pid:int, avg_load:double).
+
+  // Starting condition θs_i: deterministic, per-query, selectivity `sel`,
+  // intentionally not hash-indexable (arithmetic over pid and ts).
+  const int64_t threshold = static_cast<int64_t>(sel * 100.0);
+  ExprPtr mix = Expr::Arith(
+      ArithOp::kMod,
+      Expr::Arith(
+          ArithOp::kAdd,
+          Expr::Arith(ArithOp::kAdd,
+                      Expr::Arith(ArithOp::kMul, Expr::Attr(Side::kLeft, 0),
+                                  Expr::ConstInt(31)),
+                      Expr::Arith(ArithOp::kMod, Expr::Ts(Side::kLeft),
+                                  Expr::ConstInt(97))),
+          Expr::ConstInt(query_index * 17)),
+      Expr::ConstInt(100));
+  ExprPtr theta_s = Expr::Cmp(CmpOp::kLt, mix, Expr::ConstInt(threshold));
+  QueryNodePtr start = QueryNode::Select(smoothed, theta_s);
+
+  // µ: same pid, monotonically increasing smoothed load, 60 s bound.
+  ExprPtr match = Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 0),
+                            Expr::Attr(Side::kRight, 0));
+  ExprPtr rebind = Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kRight, 1),
+                             Expr::Attr(Side::kLeft, 2 + 1));
+  QueryNodePtr mu =
+      QueryNode::IterateSplit(start, smoothed, match, rebind, 60);
+
+  // Stop condition (paper §5.3: load > 10, low selectivity on purpose).
+  QueryNodePtr stop = QueryNode::Select(
+      mu, Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kLeft, 3),
+                    Expr::ConstInt(10)));
+  return Query{StrCat("H", query_index), stop};
+}
+
+}  // namespace rumor

@@ -1,0 +1,51 @@
+// Synthetic performance-counter traces — the substitute for the paper's
+// proprietary Windows Vista Performance Monitor datasets (§5.3: D1 = 104
+// long-running processes sampled at 1 Hz for 24 h; D2 = 28 processes).
+//
+// The generator reproduces the properties Fig. 11 depends on: one
+// (pid, load) tuple per process per second; mostly mean-reverting noisy
+// load; occasional *monotonic ramp* episodes (the CPU-ramp patterns the
+// hybrid queries hunt for). Absolute load values are percentages [0, 100].
+//
+// It also builds the §5.3 hybrid query workload (modified Query 2):
+//   SMOOTHED = SELECT pid, AVG(load) FROM CPU [RANGE 60] GROUP BY pid
+//   Qi       = start condition θsi with selectivity `sel` (non-indexable)
+//              ITERATE: monotonically increasing avg load per pid
+//              stop condition: last.avg_load > 10
+#ifndef RUMOR_WORKLOAD_PERFMON_H_
+#define RUMOR_WORKLOAD_PERFMON_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+#include "query/query.h"
+
+namespace rumor {
+
+struct PerfmonParams {
+  int num_processes = 104;  // D1; use 28 for the D2 variant
+  int64_t duration_seconds = 600;
+  double ramp_start_probability = 0.01;  // per process-second
+  int64_t ramp_length = 20;              // seconds of monotonic increase
+  uint64_t seed = 7;
+};
+
+// CPU stream schema: (pid:int, load:int), ts in seconds.
+Schema PerfmonSchema();
+
+// The full trace in timestamp order (num_processes tuples per second).
+std::vector<Tuple> GeneratePerfmonTrace(const PerfmonParams& params);
+
+// One hybrid query (modified paper Query 2). `query_index` de-correlates
+// the starting conditions across queries; `sel` in [0,1] is their
+// selectivity; they are intentionally *not* hash-indexable:
+//   θs_i = (avg_load * 97 + i * 13) % 100 < floor(sel * 100)
+// The µ stage matches per-pid monotonically increasing smoothed loads; the
+// stop condition keeps runs whose last smoothed load exceeds 10.
+Query MakeHybridQuery(int query_index, double sel, int64_t smooth_window);
+
+}  // namespace rumor
+
+#endif  // RUMOR_WORKLOAD_PERFMON_H_

@@ -1,0 +1,23 @@
+#include "workload/synthetic.h"
+
+namespace rumor {
+
+std::vector<Event> GenerateInterleaved(const SyntheticParams& params,
+                                       int64_t count, Timestamp first_ts,
+                                       Rng& rng) {
+  std::vector<Event> events;
+  events.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    std::vector<int64_t> values;
+    values.reserve(params.num_attributes);
+    for (int k = 0; k < params.num_attributes; ++k) {
+      values.push_back(rng.UniformInt(0, params.constant_domain - 1));
+    }
+    Timestamp ts = first_ts + i;
+    events.push_back(
+        {static_cast<int>(ts % 2), Tuple::MakeInts(values, ts)});
+  }
+  return events;
+}
+
+}  // namespace rumor

@@ -1,0 +1,64 @@
+// The synthetic benchmark of paper §5.1 / Table 3: two interleaved streams S
+// and T with a 10-int-attribute schema; attribute values uniform in
+// [0, constant_domain); tuples have consecutive timestamps starting at 0
+// (even ts -> S, odd ts -> T); query constants and window lengths are drawn
+// Zipf(zipf_parameter) over their domains, favouring large values.
+#ifndef RUMOR_WORKLOAD_SYNTHETIC_H_
+#define RUMOR_WORKLOAD_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace rumor {
+
+// Table 3 defaults.
+struct SyntheticParams {
+  int num_queries = 1000;
+  int num_attributes = 10;
+  int64_t constant_domain = 1000;
+  int64_t window_domain = 1000;
+  double zipf_parameter = 1.5;
+  int64_t num_tuples = 100000;  // total events (>= 100k in the paper)
+  uint64_t seed = 42;
+
+  Schema MakeSchema() const { return Schema::MakeInts(num_attributes); }
+};
+
+// One benchmark event: stream index (0 = S, 1 = T) + tuple.
+struct Event {
+  int stream;
+  Tuple tuple;
+};
+
+// Generates `count` interleaved S/T events with consecutive timestamps
+// starting at `first_ts`.
+std::vector<Event> GenerateInterleaved(const SyntheticParams& params,
+                                       int64_t count, Timestamp first_ts,
+                                       Rng& rng);
+
+// Samples query parameters; construct once per workload (the Zipf tables
+// cost O(domain) to build).
+class QueryParamSampler {
+ public:
+  explicit QueryParamSampler(const SyntheticParams& params)
+      : constant_zipf_(params.constant_domain, params.zipf_parameter),
+        window_zipf_(params.window_domain, params.zipf_parameter) {}
+
+  // Query constant in [0, constant_domain), biased large.
+  int64_t Constant(Rng& rng) const { return constant_zipf_.Sample(rng) - 1; }
+  // Window length in [1, window_domain], biased large.
+  int64_t Window(Rng& rng) const { return window_zipf_.Sample(rng); }
+
+ private:
+  ZipfGenerator constant_zipf_;
+  ZipfGenerator window_zipf_;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_WORKLOAD_SYNTHETIC_H_

@@ -1,0 +1,107 @@
+#include "workload/workloads.h"
+
+#include "common/str_util.h"
+
+namespace rumor {
+
+namespace {
+
+ExprPtr LeftEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, attr),
+                   Expr::ConstInt(c));
+}
+ExprPtr RightEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kRight, attr),
+                   Expr::ConstInt(c));
+}
+ExprPtr Equi(int la, int ra) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, la),
+                   Expr::Attr(Side::kRight, ra));
+}
+// rebind: event.a1 > last.a1; in the (entry ⊕ last) concat space the last
+// part starts at `left_size`.
+ExprPtr MonotonicRebind(int left_size) {
+  return Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kRight, 1),
+                   Expr::Attr(Side::kLeft, left_size + 1));
+}
+
+}  // namespace
+
+std::vector<W1Spec> DrawW1Specs(const SyntheticParams& params, Rng& rng) {
+  QueryParamSampler sampler(params);
+  std::vector<W1Spec> specs;
+  specs.reserve(params.num_queries);
+  for (int i = 0; i < params.num_queries; ++i) {
+    specs.push_back(
+        {sampler.Constant(rng), sampler.Constant(rng), sampler.Window(rng)});
+  }
+  return specs;
+}
+
+CayugaAutomaton MakeW1Automaton(const std::string& name, const W1Spec& spec,
+                                const Schema& schema) {
+  CayugaAutomaton a(name, "S", schema, LeftEq(0, spec.c1));
+  a.AddStage({CayugaStateKind::kSequence, "T", RightEq(0, spec.c3), nullptr,
+              spec.window},
+             schema);
+  return a;
+}
+
+Query MakeW1Query(const std::string& name, const W1Spec& spec,
+                  const Schema& schema) {
+  // θ3 hoisted to a selection on T (AN-index equivalent; see header).
+  QueryNodePtr s = QueryNode::Select(QueryNode::Source("S", schema),
+                                     LeftEq(0, spec.c1));
+  QueryNodePtr t = QueryNode::Select(QueryNode::Source("T", schema),
+                                     LeftEq(0, spec.c3));
+  return Query{name, QueryNode::Sequence(s, t, nullptr, spec.window)};
+}
+
+std::vector<W2Spec> DrawW2Specs(const SyntheticParams& params, bool iterate,
+                                Rng& rng) {
+  QueryParamSampler sampler(params);
+  std::vector<W2Spec> specs;
+  specs.reserve(params.num_queries);
+  for (int i = 0; i < params.num_queries; ++i) {
+    specs.push_back({sampler.Window(rng), iterate});
+  }
+  return specs;
+}
+
+CayugaAutomaton MakeW2Automaton(const std::string& name, const W2Spec& spec,
+                                const Schema& schema) {
+  CayugaAutomaton a(name, "S", schema, nullptr);
+  if (spec.iterate) {
+    a.AddStage({CayugaStateKind::kIterate, "T", Equi(0, 0),
+                MonotonicRebind(schema.size()), spec.window},
+               schema);
+  } else {
+    a.AddStage({CayugaStateKind::kSequence, "T", Equi(0, 0), nullptr,
+                spec.window},
+               schema);
+  }
+  return a;
+}
+
+Query MakeW2Query(const std::string& name, const W2Spec& spec,
+                  const Schema& schema) {
+  QueryNodePtr s = QueryNode::Source("S", schema);
+  QueryNodePtr t = QueryNode::Source("T", schema);
+  if (spec.iterate) {
+    return Query{name,
+                 QueryNode::IterateSplit(s, t, Equi(0, 0),
+                                         MonotonicRebind(schema.size()),
+                                         spec.window)};
+  }
+  return Query{name, QueryNode::Sequence(s, t, Equi(0, 0), spec.window)};
+}
+
+Query MakeW3Query(const std::string& name, int source_index, int64_t window,
+                  const Schema& schema) {
+  QueryNodePtr s = QueryNode::Source(StrCat("S", source_index), schema,
+                                     /*sharable_label=*/0);
+  QueryNodePtr t = QueryNode::Source("T", schema);
+  return Query{name, QueryNode::Sequence(s, t, Equi(0, 0), window)};
+}
+
+}  // namespace rumor

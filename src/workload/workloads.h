@@ -1,0 +1,61 @@
+// Query-workload generators for the paper's evaluation (§5.2, §5.3). Each
+// generator produces the *same* logical queries in both representations:
+// Cayuga automata (for the baseline engine) and RUMOR logical queries (for
+// compile + optimize), drawn from one specification.
+//
+// Workload 1:  σ(S.a0 = c1)(S)  ;[w]  σ(T.a0 = c3)(T)
+//   (exercises FR + AN indexes / rule sσ; constants and windows Zipf-drawn).
+//   On the RUMOR side the event-only predicate θ3 is hoisted to a selection
+//   on T — the plan-level equivalent of the AN index (§4.3); hoisting an
+//   event-only conjunct out of ; preserves semantics exactly.
+// Workload 2:  S  ;[w, S.a0 = T.a0]  T          (AI index / hashed ; state)
+// Workload 2µ: S  µ[w, S.a0 = T.a0, T.a1 > last.a1]  T
+// Workload 3:  Si ;[w, Si.a0 = T.a0] T  for sharable sources S1..Sk
+//   (channel capacity k; identical definitions so rule c; applies).
+#ifndef RUMOR_WORKLOAD_WORKLOADS_H_
+#define RUMOR_WORKLOAD_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "cayuga/automaton.h"
+#include "query/query.h"
+#include "workload/synthetic.h"
+
+namespace rumor {
+
+struct W1Spec {
+  int64_t c1 = 0;
+  int64_t c3 = 0;
+  int64_t window = 1;
+};
+
+// Draws `params.num_queries` Workload-1 specs.
+std::vector<W1Spec> DrawW1Specs(const SyntheticParams& params, Rng& rng);
+
+CayugaAutomaton MakeW1Automaton(const std::string& name, const W1Spec& spec,
+                                const Schema& schema);
+Query MakeW1Query(const std::string& name, const W1Spec& spec,
+                  const Schema& schema);
+
+struct W2Spec {
+  int64_t window = 1;
+  bool iterate = false;  // false: ; template, true: µ template
+};
+
+std::vector<W2Spec> DrawW2Specs(const SyntheticParams& params, bool iterate,
+                                Rng& rng);
+
+CayugaAutomaton MakeW2Automaton(const std::string& name, const W2Spec& spec,
+                                const Schema& schema);
+Query MakeW2Query(const std::string& name, const W2Spec& spec,
+                  const Schema& schema);
+
+// Workload 3: query i reads source S<i % capacity> (sharable label 0) and
+// the common stream T; all definitions identical so the channel rule fires.
+Query MakeW3Query(const std::string& name, int source_index, int64_t window,
+                  const Schema& schema);
+
+}  // namespace rumor
+
+#endif  // RUMOR_WORKLOAD_WORKLOADS_H_

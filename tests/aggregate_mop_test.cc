@@ -1,0 +1,247 @@
+#include "mop/aggregate_mop.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mop_test_util.h"
+
+namespace rumor {
+namespace {
+
+using Sharing = AggregateMop::Sharing;
+
+AggregateMop::Member M(AggFn fn, int attr, std::vector<int> groups,
+                       int64_t window, int slot = 0) {
+  return {slot, AggMemberSpec{fn, attr, std::move(groups), window}};
+}
+
+// Brute-force oracle: aggregate over all pushed tuples with ts in
+// (t - window, t] and matching group, per the documented contract.
+class Oracle {
+ public:
+  Oracle(AggFn fn, int attr, std::vector<int> groups, int64_t window)
+      : fn_(fn), attr_(attr), groups_(std::move(groups)), window_(window) {}
+
+  Tuple Push(const Tuple& t) {
+    history_.push_back(t);
+    Timestamp now = t.ts();
+    ValueVec key = GroupKeyOf(t, groups_);
+    int64_t count = 0, isum = 0;
+    double dsum = 0;
+    Value min_v, max_v;
+    bool first = true;
+    for (const Tuple& h : history_) {
+      if (h.ts() <= now - window_ || h.ts() > now) continue;
+      if (!(GroupKeyOf(h, groups_) == key)) continue;
+      ++count;
+      if (attr_ >= 0) {
+        const Value& v = h.at(attr_);
+        if (v.type() == ValueType::kInt) {
+          isum += v.AsInt();
+        } else {
+          dsum += v.ToNumeric();
+        }
+        if (first || v < min_v) min_v = v;
+        if (first || v > max_v) max_v = v;
+        first = false;
+      }
+    }
+    Value result;
+    switch (fn_) {
+      case AggFn::kCount: result = Value(count); break;
+      case AggFn::kSum: result = Value(isum); break;
+      case AggFn::kAvg:
+        result = Value((dsum + static_cast<double>(isum)) /
+                       static_cast<double>(count));
+        break;
+      case AggFn::kMin: result = min_v; break;
+      case AggFn::kMax: result = max_v; break;
+    }
+    std::vector<Value> out = key.values;
+    out.push_back(result);
+    return Tuple::Make(std::move(out), now);
+  }
+
+ private:
+  AggFn fn_;
+  int attr_;
+  std::vector<int> groups_;
+  int64_t window_;
+  std::vector<Tuple> history_;
+};
+
+TEST(AggregateMopTest, CountNoGroup) {
+  AggregateMop mop({M(AggFn::kCount, -1, {}, 10)}, Sharing::kIsolated,
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({1}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({2}, 2)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({3}, 15)), out);  // first two expired
+  ASSERT_EQ(out.port(0).size(), 3u);
+  EXPECT_EQ(out.port(0)[0].tuple.at(0).AsInt(), 1);
+  EXPECT_EQ(out.port(0)[1].tuple.at(0).AsInt(), 2);
+  EXPECT_EQ(out.port(0)[2].tuple.at(0).AsInt(), 1);
+}
+
+TEST(AggregateMopTest, SumWithGroupBy) {
+  AggregateMop mop({M(AggFn::kSum, 1, {0}, 100)}, Sharing::kIsolated,
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({7, 10}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({8, 5}, 2)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({7, 3}, 3)), out);
+  ASSERT_EQ(out.port(0).size(), 3u);
+  // (group, sum)
+  EXPECT_EQ(out.port(0)[0].tuple.at(1).AsInt(), 10);
+  EXPECT_EQ(out.port(0)[1].tuple.at(1).AsInt(), 5);
+  EXPECT_EQ(out.port(0)[2].tuple.at(1).AsInt(), 13);
+}
+
+TEST(AggregateMopTest, AvgSlidesOut) {
+  AggregateMop mop({M(AggFn::kAvg, 0, {}, 2)}, Sharing::kIsolated,
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({4}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({8}, 2)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({1}, 3)), out);  // window (1,3]: {8,1}
+  ASSERT_EQ(out.port(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(out.port(0)[0].tuple.at(0).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(out.port(0)[1].tuple.at(0).AsDouble(), 6.0);
+  EXPECT_DOUBLE_EQ(out.port(0)[2].tuple.at(0).AsDouble(), 4.5);
+}
+
+TEST(AggregateMopTest, MinMaxWithExpiry) {
+  AggregateMop mop(
+      {M(AggFn::kMin, 0, {}, 5), M(AggFn::kMax, 0, {}, 5)},
+      Sharing::kIsolated, OutputMode::kPerMemberPorts);
+  CollectingEmitter out(2);
+  mop.Process(0, Plain(Tuple::MakeInts({3}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({9}, 2)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({5}, 7)), out);  // {9 (ts2)? no: 2<=7-5 expired} -> {5}
+  ASSERT_EQ(out.port(0).size(), 3u);
+  EXPECT_EQ(out.port(0)[2].tuple.at(0).AsInt(), 5);
+  EXPECT_EQ(out.port(1)[1].tuple.at(0).AsInt(), 9);
+}
+
+// Property: every aggregate function matches the brute-force oracle.
+class AggregateOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, AggFn>> {};
+
+TEST_P(AggregateOracleTest, MatchesBruteForce) {
+  auto [seed, fn] = GetParam();
+  Rng rng(seed);
+  const int attr = fn == AggFn::kCount ? -1 : 1;
+  std::vector<int> groups = {0};
+  const int64_t window = 1 + rng.UniformInt(1, 20);
+
+  AggregateMop mop({M(fn, attr, groups, window)}, Sharing::kIsolated,
+                   OutputMode::kPerMemberPorts);
+  Oracle oracle(fn, attr, groups, window);
+  CollectingEmitter out(1);
+  Timestamp ts = 0;
+  std::vector<Tuple> expected;
+  for (int i = 0; i < 200; ++i) {
+    ts += rng.UniformInt(0, 3);
+    Tuple t = RandomTuple(rng, 3, 4, ts);
+    expected.push_back(oracle.Push(t));
+    mop.Process(0, Plain(t), out);
+  }
+  ASSERT_EQ(out.port(0).size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(out.port(0)[i].tuple.ContentEquals(expected[i]))
+        << "i=" << i << " got " << out.port(0)[i].tuple.ToString()
+        << " want " << expected[i].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AggregateOracleTest,
+    ::testing::Combine(::testing::Range<uint64_t>(0, 6),
+                       ::testing::Values(AggFn::kCount, AggFn::kSum,
+                                         AggFn::kAvg, AggFn::kMin,
+                                         AggFn::kMax)));
+
+// Property: shared aggregation (sα) ≡ isolated members, with different
+// group-bys and windows.
+class SharedAggPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedAggPropertyTest, SharedMatchesIsolated) {
+  Rng rng(GetParam());
+  const int num_members = 1 + static_cast<int>(rng.UniformInt(1, 6));
+  AggFn fn = static_cast<AggFn>(rng.UniformInt(0, 4));
+  int attr = fn == AggFn::kCount ? -1 : 2;
+
+  std::vector<AggregateMop::Member> members;
+  for (int i = 0; i < num_members; ++i) {
+    std::vector<int> groups;
+    if (rng.Bernoulli(0.7)) groups.push_back(static_cast<int>(rng.UniformInt(0, 1)));
+    if (rng.Bernoulli(0.3)) groups.push_back(static_cast<int>(rng.UniformInt(0, 2)));
+    members.push_back(M(fn, attr, groups, 1 + rng.UniformInt(1, 30)));
+  }
+  AggregateMop shared(members, Sharing::kShared, OutputMode::kPerMemberPorts);
+  AggregateMop isolated(members, Sharing::kIsolated,
+                        OutputMode::kPerMemberPorts);
+  CollectingEmitter s_out(num_members), i_out(num_members);
+  Timestamp ts = 0;
+  for (int i = 0; i < 300; ++i) {
+    ts += rng.UniformInt(0, 2);
+    Tuple t = RandomTuple(rng, 4, 3, ts);
+    shared.Process(0, Plain(t), s_out);
+    isolated.Process(0, Plain(t), i_out);
+  }
+  for (int m = 0; m < num_members; ++m) {
+    // Order is deterministic for aggregates: compare sequences exactly.
+    ASSERT_EQ(s_out.port(m).size(), i_out.port(m).size()) << "member " << m;
+    for (size_t k = 0; k < s_out.port(m).size(); ++k) {
+      EXPECT_TRUE(
+          s_out.port(m)[k].tuple.ContentEquals(i_out.port(m)[k].tuple))
+          << "member " << m << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedAggPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+// Property: fragment aggregation (cα) over a channel ≡ isolated members
+// reading their slots.
+class FragmentAggPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FragmentAggPropertyTest, FragmentMatchesIsolated) {
+  Rng rng(GetParam());
+  const int capacity = 1 + static_cast<int>(rng.UniformInt(1, 6));
+  AggFn fn = static_cast<AggFn>(rng.UniformInt(0, 4));
+  int attr = fn == AggFn::kCount ? -1 : 1;
+  AggMemberSpec spec{fn, attr, {0}, 1 + rng.UniformInt(1, 20)};
+
+  std::vector<AggregateMop::Member> members;
+  for (int i = 0; i < capacity; ++i) members.push_back({i, spec});
+  AggregateMop fragment(members, Sharing::kFragment,
+                        OutputMode::kPerMemberPorts);
+  AggregateMop isolated(members, Sharing::kIsolated,
+                        OutputMode::kPerMemberPorts);
+  CollectingEmitter f_out(capacity), i_out(capacity);
+  Timestamp ts = 0;
+  for (int i = 0; i < 300; ++i) {
+    ts += rng.UniformInt(0, 2);
+    ChannelTuple ct{RandomTuple(rng, 3, 3, ts),
+                    RandomMembership(rng, capacity)};
+    fragment.Process(0, ct, f_out);
+    isolated.Process(0, ct, i_out);
+  }
+  for (int m = 0; m < capacity; ++m) {
+    ASSERT_EQ(f_out.port(m).size(), i_out.port(m).size()) << "member " << m;
+    for (size_t k = 0; k < f_out.port(m).size(); ++k) {
+      EXPECT_TRUE(
+          f_out.port(m)[k].tuple.ContentEquals(i_out.port(m)[k].tuple))
+          << "member " << m << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentAggPropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,133 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rumor {
+namespace {
+
+TEST(BitVectorTest, EmptyIsNone) {
+  BitVector bv(100);
+  EXPECT_TRUE(bv.None());
+  EXPECT_FALSE(bv.Any());
+  EXPECT_EQ(bv.Count(), 0);
+}
+
+TEST(BitVectorTest, SetTestReset) {
+  BitVector bv(130);
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(129));
+  EXPECT_FALSE(bv.Test(1));
+  EXPECT_EQ(bv.Count(), 3);
+  bv.Reset(64);
+  EXPECT_FALSE(bv.Test(64));
+  EXPECT_EQ(bv.Count(), 2);
+}
+
+TEST(BitVectorTest, Singleton) {
+  BitVector bv = BitVector::Singleton(7, 32);
+  EXPECT_EQ(bv.Count(), 1);
+  EXPECT_TRUE(bv.Test(7));
+}
+
+TEST(BitVectorTest, AllOnesPaddingIsClean) {
+  BitVector bv = BitVector::AllOnes(70);
+  EXPECT_EQ(bv.Count(), 70);
+  EXPECT_EQ(bv.ToIndexes().size(), 70u);
+}
+
+TEST(BitVectorTest, AndOrSubtract) {
+  BitVector a(10), b(10);
+  a.Set(1);
+  a.Set(3);
+  b.Set(3);
+  b.Set(5);
+  BitVector u = a | b;
+  EXPECT_EQ(u.ToIndexes(), (std::vector<int>{1, 3, 5}));
+  BitVector i = a & b;
+  EXPECT_EQ(i.ToIndexes(), (std::vector<int>{3}));
+  BitVector d = a;
+  d.Subtract(b);
+  EXPECT_EQ(d.ToIndexes(), (std::vector<int>{1}));
+}
+
+TEST(BitVectorTest, ContainsAndIntersects) {
+  BitVector a(10), b(10), c(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(1);
+  c.Set(3);
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_FALSE(b.Contains(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+}
+
+TEST(BitVectorTest, EqualityAndHash) {
+  BitVector a(65), b(65);
+  a.Set(64);
+  b.Set(64);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVectorTest, ForEachAscending) {
+  BitVector a(200);
+  std::vector<int> expected = {0, 63, 64, 127, 128, 199};
+  for (int i : expected) a.Set(i);
+  EXPECT_EQ(a.ToIndexes(), expected);
+}
+
+TEST(BitVectorTest, ToStringFormat) {
+  BitVector a(8);
+  a.Set(0);
+  a.Set(3);
+  EXPECT_EQ(a.ToString(), "{0,3}");
+}
+
+// Property sweep: boolean algebra laws on random vectors.
+class BitVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitVectorPropertyTest, AlgebraLaws) {
+  Rng rng(GetParam());
+  const int size = 1 + static_cast<int>(rng.UniformInt(1, 300));
+  auto random_bv = [&]() {
+    BitVector bv(size);
+    for (int i = 0; i < size; ++i) {
+      if (rng.Bernoulli(0.3)) bv.Set(i);
+    }
+    return bv;
+  };
+  BitVector a = random_bv(), b = random_bv(), c = random_bv();
+  // Commutativity.
+  EXPECT_EQ(a | b, b | a);
+  EXPECT_EQ(a & b, b & a);
+  // Associativity.
+  EXPECT_EQ((a | b) | c, a | (b | c));
+  EXPECT_EQ((a & b) & c, a & (b & c));
+  // Distributivity.
+  EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+  // Absorption.
+  EXPECT_EQ(a | (a & b), a);
+  EXPECT_EQ(a & (a | b), a);
+  // Count under disjoint union: |a| + |b| = |a&b| + |a|b|.
+  EXPECT_EQ(a.Count() + b.Count(), (a & b).Count() + (a | b).Count());
+  // Contains/Intersects consistency.
+  EXPECT_TRUE((a | b).Contains(a));
+  if ((a & b).Any()) {
+    EXPECT_TRUE(a.Intersects(b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,285 @@
+#include "cayuga/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "cayuga/translator.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+namespace {
+
+Schema TenInts() { return Schema::MakeInts(10); }
+
+Tuple T10(std::vector<int64_t> firsts, Timestamp ts) {
+  firsts.resize(10, 0);
+  return Tuple::MakeInts(firsts, ts);
+}
+
+ExprPtr LeftEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, attr),
+                   Expr::ConstInt(c));
+}
+ExprPtr RightEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kRight, attr),
+                   Expr::ConstInt(c));
+}
+ExprPtr Equi(int la, int ra) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, la),
+                   Expr::Attr(Side::kRight, ra));
+}
+
+// Workload-1 template automaton: σ(S.a0=c1) ; (T.a0=c3, window w).
+CayugaAutomaton W1Automaton(const std::string& name, int64_t c1, int64_t c3,
+                            int64_t w) {
+  CayugaAutomaton a(name, "S", TenInts(), LeftEq(0, c1));
+  a.AddStage({CayugaStateKind::kSequence, "T", RightEq(0, c3), nullptr, w},
+             TenInts());
+  return a;
+}
+
+// Workload-2 µ template: S µ(S.a0=T.a0, T.a1>last.a1, window w) T.
+CayugaAutomaton W2MuAutomaton(const std::string& name, int64_t w) {
+  CayugaAutomaton a(name, "S", TenInts(), nullptr);
+  // In the instance concat space, last.a1 is left attr 10 + 1.
+  ExprPtr rebind = Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kRight, 1),
+                             Expr::Attr(Side::kLeft, 11));
+  a.AddStage({CayugaStateKind::kIterate, "T", Equi(0, 0), rebind, w},
+             TenInts());
+  return a;
+}
+
+TEST(CayugaEngineTest, BasicSequenceMatch) {
+  CayugaEngine engine;
+  engine.AddAutomaton(W1Automaton("Q0", 1, 2, 100));
+  std::vector<std::pair<int, Tuple>> outputs;
+  engine.SetOutputHandler(
+      [&](int q, const Tuple& t) { outputs.push_back({q, t}); });
+  engine.OnEvent("S", T10({1}, 0));
+  engine.OnEvent("T", T10({2}, 1));
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].first, 0);
+  EXPECT_EQ(outputs[0].second.size(), 20);
+  EXPECT_EQ(outputs[0].second.ts(), 1);
+}
+
+TEST(CayugaEngineTest, ConsumeOnMatch) {
+  CayugaEngine engine;
+  engine.AddAutomaton(W1Automaton("Q0", 1, 2, 100));
+  int outputs = 0;
+  engine.SetOutputHandler([&](int, const Tuple&) { ++outputs; });
+  engine.OnEvent("S", T10({1}, 0));
+  engine.OnEvent("T", T10({2}, 1));
+  engine.OnEvent("T", T10({2}, 2));
+  EXPECT_EQ(outputs, 1);
+  EXPECT_EQ(engine.live_instances(), 0u);
+}
+
+TEST(CayugaEngineTest, WindowExpiry) {
+  CayugaEngine engine;
+  engine.AddAutomaton(W1Automaton("Q0", 1, 2, 5));
+  int outputs = 0;
+  engine.SetOutputHandler([&](int, const Tuple&) { ++outputs; });
+  engine.OnEvent("S", T10({1}, 0));
+  engine.OnEvent("T", T10({2}, 10));
+  EXPECT_EQ(outputs, 0);
+}
+
+TEST(CayugaEngineTest, MuMonotonicRun) {
+  CayugaEngine engine;
+  engine.AddAutomaton(W2MuAutomaton("Q0", 100));
+  std::vector<Tuple> outputs;
+  engine.SetOutputHandler(
+      [&](int, const Tuple& t) { outputs.push_back(t); });
+  engine.OnEvent("S", T10({7, 10}, 0));
+  engine.OnEvent("T", T10({7, 12}, 1));
+  engine.OnEvent("T", T10({7, 15}, 2));
+  engine.OnEvent("T", T10({7, 3}, 3));   // run broken
+  engine.OnEvent("T", T10({7, 99}, 4));  // dead
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[1].at(11).AsInt(), 15);
+}
+
+TEST(CayugaEngineTest, PrefixMergingSharesIdenticalAutomata) {
+  CayugaEngine engine;
+  engine.AddAutomaton(W1Automaton("Q0", 1, 2, 100));
+  engine.AddAutomaton(W1Automaton("Q1", 1, 2, 100));  // identical
+  engine.AddAutomaton(W1Automaton("Q2", 1, 3, 100));  // differs
+  EXPECT_EQ(engine.num_nodes(), 2);
+  EXPECT_EQ(engine.num_start_edges(), 2);
+  std::map<int, int> outputs;
+  engine.SetOutputHandler([&](int q, const Tuple&) { ++outputs[q]; });
+  engine.OnEvent("S", T10({1}, 0));
+  engine.OnEvent("T", T10({2}, 1));
+  EXPECT_EQ(outputs[0], 1);
+  EXPECT_EQ(outputs[1], 1);  // shared final state fires both queries
+  EXPECT_EQ(outputs.count(2), 0u);
+}
+
+TEST(CayugaEngineTest, MergingDisabledDuplicatesNodes) {
+  CayugaEngine::Options opts;
+  opts.merge_prefixes = false;
+  CayugaEngine engine(opts);
+  engine.AddAutomaton(W1Automaton("Q0", 1, 2, 100));
+  engine.AddAutomaton(W1Automaton("Q1", 1, 2, 100));
+  EXPECT_EQ(engine.num_nodes(), 2);
+  EXPECT_EQ(engine.num_start_edges(), 2);
+}
+
+TEST(CayugaEngineTest, DifferentStartPredicatesNeverShareState) {
+  // Example-3 caveat: same µ definition, different starting conditions —
+  // instances must not leak across queries.
+  CayugaEngine engine;
+  engine.AddAutomaton(W1Automaton("Q0", 1, 5, 100));
+  engine.AddAutomaton(W1Automaton("Q1", 2, 5, 100));
+  std::map<int, int> outputs;
+  engine.SetOutputHandler([&](int q, const Tuple&) { ++outputs[q]; });
+  engine.OnEvent("S", T10({1}, 0));  // starts Q0 only
+  engine.OnEvent("T", T10({5}, 1));
+  EXPECT_EQ(outputs[0], 1);
+  EXPECT_EQ(outputs.count(1), 0u);
+}
+
+// Index ablations must not change results.
+class CayugaIndexAblationTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(CayugaIndexAblationTest, SameOutputsWithAndWithoutIndexes) {
+  auto [fr, an, ai] = GetParam();
+  CayugaEngine::Options opts;
+  opts.fr_index = fr;
+  opts.an_index = an;
+  opts.ai_index = ai;
+  CayugaEngine with_opts(opts);
+  CayugaEngine baseline(CayugaEngine::Options{false, false, false, true});
+
+  Rng rng(42);
+  for (int i = 0; i < 20; ++i) {
+    auto a = W1Automaton(StrCat("Q", i), rng.UniformInt(0, 3),
+                         rng.UniformInt(0, 3), 10 * (1 + rng.UniformInt(0, 2)));
+    with_opts.AddAutomaton(a);
+    baseline.AddAutomaton(a);
+  }
+  std::vector<std::string> got, want;
+  with_opts.SetOutputHandler([&](int q, const Tuple& t) {
+    got.push_back(StrCat(q, ":", t.ToString()));
+  });
+  baseline.SetOutputHandler([&](int q, const Tuple& t) {
+    want.push_back(StrCat(q, ":", t.ToString()));
+  });
+  for (int i = 0; i < 400; ++i) {
+    Tuple t = T10({rng.UniformInt(0, 3), rng.UniformInt(0, 3)}, i);
+    const char* stream = i % 2 == 0 ? "S" : "T";
+    with_opts.OnEvent(stream, t);
+    baseline.OnEvent(stream, t);
+  }
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ablation, CayugaIndexAblationTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+// --- translator --------------------------------------------------------------
+
+TEST(TranslatorTest, SequenceShape) {
+  Query q = TranslateAutomaton(W1Automaton("Q0", 1, 2, 100));
+  // Source(S) -> Select -> Sequence with Source(T).
+  EXPECT_EQ(q.root->op(), QueryOp::kSequence);
+  EXPECT_EQ(q.root->child(0)->op(), QueryOp::kSelect);
+  EXPECT_EQ(q.root->child(0)->child(0)->op(), QueryOp::kSource);
+  EXPECT_EQ(q.root->child(1)->op(), QueryOp::kSource);
+  EXPECT_EQ(q.root->window(), 100);
+}
+
+TEST(TranslatorTest, IterateShape) {
+  Query q = TranslateAutomaton(W2MuAutomaton("Q0", 50));
+  EXPECT_EQ(q.root->op(), QueryOp::kIterate);
+  EXPECT_NE(q.root->match_predicate(), nullptr);
+  EXPECT_NE(q.root->rebind_predicate(), nullptr);
+}
+
+// The §4.3 claim, tested: the Cayuga engine and the translated + optimized
+// RUMOR plan produce identical outputs.
+class EngineEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineEquivalenceTest, CayugaMatchesTranslatedPlan) {
+  Rng rng(GetParam());
+  std::vector<CayugaAutomaton> automata;
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 10));
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      automata.push_back(W1Automaton(StrCat("Q", i), rng.UniformInt(0, 3),
+                                     rng.UniformInt(0, 3),
+                                     10 * (1 + rng.UniformInt(0, 2))));
+    } else {
+      automata.push_back(
+          W2MuAutomaton(StrCat("Q", i), 10 * (1 + rng.UniformInt(0, 2))));
+    }
+  }
+
+  // Cayuga side.
+  CayugaEngine engine;
+  std::map<std::string, std::vector<std::string>> cayuga_out;
+  std::vector<std::string> names;
+  for (const auto& a : automata) {
+    engine.AddAutomaton(a);
+    names.push_back(a.name());
+  }
+  engine.SetOutputHandler([&](int q, const Tuple& t) {
+    cayuga_out[names[q]].push_back(t.ToString());
+  });
+
+  // RUMOR side: translate, compile, optimize.
+  Plan plan;
+  std::vector<Query> queries;
+  for (const auto& a : automata) queries.push_back(TranslateAutomaton(a));
+  auto compiled = CompileQueries(queries, &plan);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  Optimize(&plan);
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId s = *plan.streams().FindSource("S");
+  StreamId t = *plan.streams().FindSource("T");
+
+  Rng feed(GetParam() ^ 0xfeed);
+  for (int i = 0; i < 500; ++i) {
+    Tuple tup = T10({feed.UniformInt(0, 3), feed.UniformInt(0, 3)}, i);
+    if (i % 2 == 0) {
+      engine.OnEvent("S", tup);
+      exec.PushSource(s, tup);
+    } else {
+      engine.OnEvent("T", tup);
+      exec.PushSource(t, tup);
+    }
+  }
+
+  for (const CompiledQuery& cq : compiled.value()) {
+    std::vector<std::string> rumor_out;
+    // CSE may have remapped the query's output stream.
+    StreamId out = *plan.OutputStreamOf(cq.name);
+    for (const Tuple& tup : sink.ForStream(out)) {
+      rumor_out.push_back(tup.ToString());
+    }
+    std::sort(rumor_out.begin(), rumor_out.end());
+    std::vector<std::string>& expected = cayuga_out[cq.name];
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(rumor_out, expected) << "query " << cq.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,158 @@
+// Executor behaviour on non-trivial plan topologies: fan-out (one channel,
+// many consumers), diamonds (shared subexpression feeding a binary op on
+// both sides), deep pipelines, and channel-output m-ops feeding decode-aware
+// consumers.
+#include <gtest/gtest.h>
+
+#include "mop/predicate_index_mop.h"
+#include "mop/selection_mop.h"
+#include "mop/sequence_mop.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "query/builder.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+namespace {
+
+Schema TenInts() { return Schema::MakeInts(10); }
+
+Tuple T10(std::vector<int64_t> firsts, Timestamp ts) {
+  firsts.resize(10, 0);
+  return Tuple::MakeInts(firsts, ts);
+}
+
+TEST(ExecutorTopologyTest, FanOutDeliversToAllConsumers) {
+  // One selection feeding three downstream selections via one channel.
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", TenInts()).Select("a0 > 0");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(CompileQuery(
+                    s.Select("a1 = " + std::to_string(i))
+                        .Build("Q" + std::to_string(i)),
+                    &plan)
+                    .ok());
+  }
+  // CSE merges the three copies of the upstream selection -> fan-out.
+  OptimizerOptions opts;
+  opts.enable_predicate_index = false;
+  opts.enable_channels = false;
+  Optimize(&plan, opts);
+  EXPECT_EQ(plan.LiveMops().size(), 4u);  // 1 shared upstream + 3 downstream
+
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId src = *plan.streams().FindSource("S");
+  exec.PushSource(src, T10({5, 1}, 0));
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("Q1")).size(), 1u);
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("Q0")).size(), 0u);
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("Q2")).size(), 0u);
+}
+
+TEST(ExecutorTopologyTest, DiamondSharedSubexpressionIntoSequence) {
+  // σ(S) feeds BOTH sides of a sequence: left via an extra filter, right
+  // directly — a diamond. The executor must deliver the event to the left
+  // branch before the right (DAG order within one push is depth-first per
+  // consumer registration; correctness only needs both to see it once).
+  Plan plan;
+  auto base = QueryBuilder::FromSource("S", TenInts()).Select("a0 > 0");
+  auto left = base.Select("a1 = 1");
+  auto q = left.Sequence(base, "l.a2 = r.a2", 100).Build("D");
+  ASSERT_TRUE(CompileQuery(q, &plan).ok());
+  Optimize(&plan);
+
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId src = *plan.streams().FindSource("S");
+  exec.PushSource(src, T10({5, 1, 7}, 0));  // enters left state (a1=1)
+  exec.PushSource(src, T10({5, 2, 7}, 1));  // right event, same a2
+  const auto& out = sink.ForStream(*plan.OutputStreamOf("D"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ts(), 1);
+}
+
+TEST(ExecutorTopologyTest, DeepPipeline) {
+  // Ten chained selections; the tuple must traverse all of them.
+  Plan plan;
+  auto b = QueryBuilder::FromSource("S", TenInts());
+  for (int i = 0; i < 10; ++i) b = b.Select("a0 > " + std::to_string(i));
+  ASSERT_TRUE(CompileQuery(b.Build("deep"), &plan).ok());
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId src = *plan.streams().FindSource("S");
+  exec.PushSource(src, T10({100}, 0));
+  exec.PushSource(src, T10({5}, 1));  // fails "a0 > 5"
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("deep")).size(), 1u);
+  EXPECT_GE(exec.deliveries(), 10 + 6);
+}
+
+TEST(ExecutorTopologyTest, ChannelModeMopFeedsDecodeAwareConsumer) {
+  // Hand-wired: a channel-output selection m-op feeding a channel sequence
+  // m-op — the executor must route the multi-membership tuple correctly.
+  Plan plan;
+  StreamId s = plan.streams().AddSource("S", TenInts());
+  StreamId t = plan.streams().AddSource("T", TenInts());
+  ChannelId s_ch = plan.SourceChannelOf(s);
+  ChannelId t_ch = plan.SourceChannelOf(t);
+
+  // Two-member predicate index in channel-output mode.
+  std::vector<SelectionDef> defs = {
+      {Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kLeft, 0), Expr::ConstInt(0))},
+      {Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kLeft, 1),
+                 Expr::ConstInt(0))}};
+  MopId sel = plan.AddMop(
+      std::make_unique<PredicateIndexMop>(defs, OutputMode::kChannel));
+  StreamId o1 = plan.streams().AddDerived("o1", TenInts());
+  StreamId o2 = plan.streams().AddDerived("o2", TenInts());
+  ChannelId mid = plan.AddChannel({o1, o2}, TenInts());
+  plan.BindInput(sel, 0, s_ch);
+  plan.BindOutput(sel, 0, mid);
+
+  // Channel sequence over the two slots.
+  SequenceDef def{Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 2),
+                            Expr::Attr(Side::kRight, 2)),
+                  100};
+  MopId seq = plan.AddMop(std::make_unique<SequenceMop>(
+      std::vector<SequenceMop::Member>{{0, 0, def}, {1, 0, def}},
+      SequenceMop::Sharing::kChannel, OutputMode::kPerMemberPorts));
+  plan.BindInput(seq, 0, mid);
+  plan.BindInput(seq, 1, t_ch);
+  ChannelId q1 = plan.AddDerivedChannel("q1", Schema::Concat(TenInts(),
+                                                             TenInts()));
+  ChannelId q2 = plan.AddDerivedChannel("q2", Schema::Concat(TenInts(),
+                                                             TenInts()));
+  plan.BindOutput(seq, 0, q1);
+  plan.BindOutput(seq, 1, q2);
+  plan.MarkOutput(plan.channel(q1).stream_at(0), "Q1");
+  plan.MarkOutput(plan.channel(q2).stream_at(0), "Q2");
+
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  // a0>0 true, a1>0 false => membership {0} only.
+  exec.PushSource(s, T10({1, 0, 9}, 0));
+  exec.PushSource(t, T10({0, 0, 9}, 1));
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("Q1")).size(), 1u);
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("Q2")).size(), 0u);
+}
+
+TEST(ExecutorTopologyTest, TwoIndependentQueryGroupsDoNotInterfere) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", TenInts());
+  auto t = QueryBuilder::FromSource("T", TenInts());
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 1").Build("OnS"), &plan).ok());
+  ASSERT_TRUE(CompileQuery(t.Select("a0 = 1").Build("OnT"), &plan).ok());
+  Optimize(&plan);
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  exec.PushSource(*plan.streams().FindSource("S"), T10({1}, 0));
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("OnS")).size(), 1u);
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("OnT")).size(), 0u);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,69 @@
+#include "plan/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "query/builder.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+namespace {
+
+TEST(ExplainTest, SummaryCountsMopsAndOutputs) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", Schema::MakeInts(3));
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 1").Build("Q1"), &plan).ok());
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 2").Build("Q2"), &plan).ok());
+  std::string summary = SummarizePlan(plan);
+  EXPECT_NE(summary.find("2 m-ops"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("2 query outputs"), std::string::npos) << summary;
+}
+
+TEST(ExplainTest, ShowsMopWiringAndCounters) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", Schema::MakeInts(3));
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 1").Build("Q1"), &plan).ok());
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId src = *plan.streams().FindSource("S");
+  exec.PushSource(src, Tuple::MakeInts({1, 0, 0}, 0));
+  exec.PushSource(src, Tuple::MakeInts({2, 0, 0}, 1));
+  std::string report = ExplainPlan(plan);
+  EXPECT_NE(report.find("in=2"), std::string::npos) << report;
+  EXPECT_NE(report.find("out=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("output Q1"), std::string::npos) << report;
+}
+
+TEST(ExplainTest, ShowsChannelCapacityAfterOptimization) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", Schema::MakeInts(10));
+  auto t = QueryBuilder::FromSource("T", Schema::MakeInts(10));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(CompileQuery(s.Select("a0 = " + std::to_string(i))
+                                 .Iterate(t, "l.a1 = r.a1", 10)
+                                 .Build("Q" + std::to_string(i)),
+                             &plan)
+                    .ok());
+  }
+  Optimize(&plan);
+  std::string report = ExplainPlan(plan);
+  EXPECT_NE(report.find("capacity=3"), std::string::npos) << report;
+  EXPECT_NE(report.find("max capacity 3"), std::string::npos) << report;
+}
+
+TEST(ExplainTest, CountersDisabledOnRequest) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", Schema::MakeInts(3));
+  ASSERT_TRUE(CompileQuery(s.Build("Q1"), &plan).ok());
+  ExplainOptions opts;
+  opts.include_counters = false;
+  opts.include_channels = false;
+  std::string report = ExplainPlan(plan, opts);
+  EXPECT_EQ(report.find("in="), std::string::npos) << report;
+  EXPECT_EQ(report.find("capacity="), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,94 @@
+// Shared helpers for m-op unit/property tests: a collecting Emitter and
+// multiset output comparison. M-ops are driven directly through Process();
+// plan/executor integration is covered separately.
+#ifndef RUMOR_TESTS_MOP_TEST_UTIL_H_
+#define RUMOR_TESTS_MOP_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mop/mop.h"
+
+namespace rumor {
+
+class CollectingEmitter : public Emitter {
+ public:
+  explicit CollectingEmitter(int num_ports) : by_port_(num_ports) {}
+
+  void Emit(int port, ChannelTuple tuple) override {
+    ASSERT_GE(port, 0);
+    ASSERT_LT(port, static_cast<int>(by_port_.size()));
+    by_port_[port].push_back(std::move(tuple));
+  }
+
+  const std::vector<ChannelTuple>& port(int i) const { return by_port_[i]; }
+  int num_ports() const { return static_cast<int>(by_port_.size()); }
+
+  // Tuples of port i ignoring membership (per-member-ports mode carries
+  // singleton memberships).
+  std::vector<Tuple> PortTuples(int i) const {
+    std::vector<Tuple> out;
+    for (const ChannelTuple& ct : by_port_[i]) out.push_back(ct.tuple);
+    return out;
+  }
+
+  // Decodes channel-mode output on port 0 into per-slot tuple streams.
+  std::vector<std::vector<Tuple>> DecodePort0(int capacity) const {
+    std::vector<std::vector<Tuple>> out(capacity);
+    for (const ChannelTuple& ct : by_port_[0]) {
+      ct.membership.ForEach(
+          [&](int slot) { out[slot].push_back(ct.tuple); });
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<ChannelTuple>> by_port_;
+};
+
+// Canonical multiset rendering for comparison (emission order may legally
+// differ between optimized and reference m-ops).
+inline std::vector<std::string> Canonical(const std::vector<Tuple>& tuples) {
+  std::vector<std::string> out;
+  out.reserve(tuples.size());
+  for (const Tuple& t : tuples) out.push_back(t.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+inline void ExpectSameTuples(const std::vector<Tuple>& actual,
+                             const std::vector<Tuple>& expected,
+                             const std::string& label) {
+  EXPECT_EQ(Canonical(actual), Canonical(expected)) << label;
+}
+
+// Pushes a capacity-1 tuple (membership {0}).
+inline ChannelTuple Plain(const Tuple& t) {
+  return ChannelTuple{t, BitVector::Singleton(0, 1)};
+}
+
+// Random int tuple with attributes in [0, domain).
+inline Tuple RandomTuple(Rng& rng, int arity, int64_t domain, Timestamp ts) {
+  std::vector<int64_t> vals;
+  vals.reserve(arity);
+  for (int i = 0; i < arity; ++i) vals.push_back(rng.UniformInt(0, domain - 1));
+  return Tuple::MakeInts(vals, ts);
+}
+
+// Random membership over `capacity` slots, non-empty.
+inline BitVector RandomMembership(Rng& rng, int capacity) {
+  BitVector bv(capacity);
+  for (int i = 0; i < capacity; ++i) {
+    if (rng.Bernoulli(0.5)) bv.Set(i);
+  }
+  if (bv.None()) bv.Set(static_cast<int>(rng.UniformInt(0, capacity - 1)));
+  return bv;
+}
+
+}  // namespace rumor
+
+#endif  // RUMOR_TESTS_MOP_TEST_UTIL_H_

@@ -1,0 +1,183 @@
+// Multi-stage pattern chains (S ; T ; U ...): the Cayuga engine, the
+// translator, and the RUMOR pipeline must agree on automata with more than
+// one pattern state (paper Fig. 5 shows a two-state chain; we also cover
+// the cπ projection path the channel rule supports).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cayuga/engine.h"
+#include "cayuga/translator.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "plan/explain.h"
+#include "query/builder.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+namespace {
+
+Schema FourInts() { return Schema::MakeInts(4); }
+
+Tuple T4(std::vector<int64_t> v, Timestamp ts) {
+  v.resize(4, 0);
+  return Tuple::MakeInts(v, ts);
+}
+
+ExprPtr RightEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kRight, attr),
+                   Expr::ConstInt(c));
+}
+
+// start(S, a0=c0) ; (T, a0=c1, w) ; (U, a0=c2, w): a three-stream chain.
+CayugaAutomaton ChainAutomaton(const std::string& name, int64_t c0,
+                               int64_t c1, int64_t c2, int64_t w) {
+  CayugaAutomaton a(name, "S", FourInts(),
+                    Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 0),
+                              Expr::ConstInt(c0)));
+  a.AddStage({CayugaStateKind::kSequence, "T", RightEq(0, c1), nullptr, w},
+             FourInts());
+  a.AddStage({CayugaStateKind::kSequence, "U", RightEq(0, c2), nullptr, w},
+             FourInts());
+  return a;
+}
+
+TEST(MultiStageTest, ChainMatchesAcrossThreeStreams) {
+  CayugaEngine engine;
+  engine.AddAutomaton(ChainAutomaton("Q", 1, 2, 3, 100));
+  std::vector<Tuple> outputs;
+  engine.SetOutputHandler(
+      [&](int, const Tuple& t) { outputs.push_back(t); });
+  engine.OnEvent("S", T4({1}, 0));
+  engine.OnEvent("T", T4({2}, 1));
+  engine.OnEvent("U", T4({3}, 2));
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].size(), 12);  // 4 + 4 + 4 attributes
+  EXPECT_EQ(outputs[0].ts(), 2);
+}
+
+TEST(MultiStageTest, IntermediateConsumeIsPerStage) {
+  CayugaEngine engine;
+  engine.AddAutomaton(ChainAutomaton("Q", 1, 2, 3, 100));
+  int outputs = 0;
+  engine.SetOutputHandler([&](int, const Tuple&) { ++outputs; });
+  engine.OnEvent("S", T4({1}, 0));
+  engine.OnEvent("T", T4({2}, 1));  // stage-1 instance consumed here
+  engine.OnEvent("T", T4({2}, 2));  // nothing left at stage 1
+  engine.OnEvent("U", T4({3}, 3));  // completes the one stage-2 instance
+  engine.OnEvent("U", T4({3}, 4));  // stage-2 instance was consumed
+  EXPECT_EQ(outputs, 1);
+}
+
+TEST(MultiStageTest, TranslatorBuildsNestedSequences) {
+  Query q = TranslateAutomaton(ChainAutomaton("Q", 1, 2, 3, 50));
+  ASSERT_EQ(q.root->op(), QueryOp::kSequence);
+  EXPECT_EQ(q.root->child(0)->op(), QueryOp::kSequence);
+  EXPECT_EQ(q.root->output_schema().size(), 12);
+}
+
+class MultiStageEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MultiStageEquivalenceTest, EngineMatchesTranslatedPlan) {
+  Rng rng(GetParam());
+  std::vector<CayugaAutomaton> automata;
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 5));
+  for (int i = 0; i < n; ++i) {
+    automata.push_back(ChainAutomaton(
+        StrCat("Q", i), rng.UniformInt(0, 2), rng.UniformInt(0, 2),
+        rng.UniformInt(0, 2), 5 * (1 + rng.UniformInt(0, 3))));
+  }
+  CayugaEngine engine;
+  std::map<std::string, std::vector<std::string>> cayuga_out;
+  for (const auto& a : automata) engine.AddAutomaton(a);
+  engine.SetOutputHandler([&](int q, const Tuple& t) {
+    cayuga_out[automata[q].name()].push_back(t.ToString());
+  });
+
+  Plan plan;
+  std::vector<Query> queries;
+  for (const auto& a : automata) queries.push_back(TranslateAutomaton(a));
+  auto compiled = CompileQueries(queries, &plan);
+  ASSERT_TRUE(compiled.ok());
+  Optimize(&plan);
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId s = *plan.streams().FindSource("S");
+  StreamId t = *plan.streams().FindSource("T");
+  StreamId u = *plan.streams().FindSource("U");
+
+  Rng feed(GetParam() ^ 0x777);
+  const char* names[] = {"S", "T", "U"};
+  StreamId ids[] = {s, t, u};
+  for (int i = 0; i < 600; ++i) {
+    int which = static_cast<int>(feed.UniformInt(0, 2));
+    Tuple tup = T4({feed.UniformInt(0, 2), feed.UniformInt(0, 2)}, i);
+    engine.OnEvent(names[which], tup);
+    exec.PushSource(ids[which], tup);
+  }
+  for (const Query& q : queries) {
+    std::vector<std::string> got;
+    for (const Tuple& tup : sink.ForStream(*plan.OutputStreamOf(q.name))) {
+      got.push_back(tup.ToString());
+    }
+    std::sort(got.begin(), got.end());
+    auto& want = cayuga_out[q.name];
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << q.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiStageEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 8));
+
+// The cπ path: identical projections over sharable streams from one
+// producer are merged into a ChannelProjectMop (the paper's π{1..n}
+// example, §3.1).
+TEST(ChannelProjectRuleTest, IdenticalProjectionsAreChannelMerged) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", FourInts());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(CompileQuery(s.Select(StrCat("a0 = ", i))
+                                 .Project({"a1", "a2"})
+                                 .Build(StrCat("Q", i)),
+                             &plan)
+                    .ok());
+  }
+  OptimizeStats stats = Optimize(&plan);
+  EXPECT_EQ(stats.predicate_index_merges, 1);
+  EXPECT_GE(stats.channel_merges, 1);
+  bool has_channel_project = false;
+  for (MopId id : plan.LiveMops()) {
+    has_channel_project |= plan.mop(id).type() == MopType::kChannelProject;
+  }
+  EXPECT_TRUE(has_channel_project) << ExplainPlan(plan);
+
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId src = *plan.streams().FindSource("S");
+  exec.PushSource(src, T4({1, 7, 8}, 0));
+  const auto& out = sink.ForStream(*plan.OutputStreamOf("Q1"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(0).AsInt(), 7);
+  EXPECT_EQ(out[0].at(1).AsInt(), 8);
+  EXPECT_EQ(sink.ForStream(*plan.OutputStreamOf("Q0")).size(), 0u);
+}
+
+TEST(DotExportTest, RendersNodesAndEdges) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", FourInts());
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 1").Build("Q"), &plan).ok());
+  std::string dot = PlanToDot(plan);
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_NE(dot.find("mop0"), std::string::npos);
+  EXPECT_NE(dot.find("out_Q"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rumor

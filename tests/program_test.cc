@@ -1,0 +1,143 @@
+#include "expr/program.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rumor {
+namespace {
+
+TEST(ProgramTest, NullCompilesToTrue) {
+  Program p = Program::Compile(nullptr);
+  ExprContext ctx;
+  EXPECT_TRUE(p.EvalBool(ctx));
+}
+
+TEST(ProgramTest, SimplePredicate) {
+  auto e = Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 0),
+                     Expr::ConstInt(5));
+  Program p = Program::Compile(e);
+  Tuple yes = Tuple::MakeInts({5}, 0), no = Tuple::MakeInts({6}, 0);
+  ExprContext cy{&yes, nullptr}, cn{&no, nullptr};
+  EXPECT_TRUE(p.EvalBool(cy));
+  EXPECT_FALSE(p.EvalBool(cn));
+}
+
+TEST(ProgramTest, ShortCircuitAnd) {
+  // Right side would CHECK-fail on div-by-zero if evaluated.
+  auto div = Expr::Cmp(
+      CmpOp::kGt,
+      Expr::Arith(ArithOp::kDiv, Expr::ConstInt(1), Expr::ConstInt(0)),
+      Expr::ConstInt(0));
+  Program p = Program::Compile(Expr::And(Expr::ConstBool(false), div));
+  ExprContext ctx;
+  EXPECT_FALSE(p.EvalBool(ctx));
+}
+
+TEST(ProgramTest, ShortCircuitOr) {
+  auto div = Expr::Cmp(
+      CmpOp::kGt,
+      Expr::Arith(ArithOp::kDiv, Expr::ConstInt(1), Expr::ConstInt(0)),
+      Expr::ConstInt(0));
+  Program p = Program::Compile(Expr::Or(Expr::ConstBool(true), div));
+  ExprContext ctx;
+  EXPECT_TRUE(p.EvalBool(ctx));
+}
+
+TEST(ProgramTest, ArithmeticChain) {
+  // ((l.a0 + 3) * r.a1) % 7
+  auto e = Expr::Arith(
+      ArithOp::kMod,
+      Expr::Arith(ArithOp::kMul,
+                  Expr::Arith(ArithOp::kAdd, Expr::Attr(Side::kLeft, 0),
+                              Expr::ConstInt(3)),
+                  Expr::Attr(Side::kRight, 1)),
+      Expr::ConstInt(7));
+  Program p = Program::Compile(e);
+  Tuple l = Tuple::MakeInts({4}, 0), r = Tuple::MakeInts({0, 5}, 0);
+  ExprContext ctx{&l, &r};
+  EXPECT_EQ(p.Eval(ctx).AsInt(), ((4 + 3) * 5) % 7);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random expression trees evaluate identically as trees and
+// as compiled programs.
+
+// Generates random boolean/numeric expressions over two 4-int-attr tuples.
+class RandomExprGen {
+ public:
+  explicit RandomExprGen(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Bool(int depth) {
+    int pick = static_cast<int>(rng_.UniformInt(0, depth <= 0 ? 1 : 5));
+    switch (pick) {
+      case 0: {
+        CmpOp op = static_cast<CmpOp>(rng_.UniformInt(0, 5));
+        return Expr::Cmp(op, Num(depth - 1), Num(depth - 1));
+      }
+      case 1:
+        return Expr::ConstBool(rng_.Bernoulli(0.5));
+      case 2:
+        return Expr::And(Bool(depth - 1), Bool(depth - 1));
+      case 3:
+        return Expr::Or(Bool(depth - 1), Bool(depth - 1));
+      default:
+        return Expr::Not(Bool(depth - 1));
+    }
+  }
+
+  ExprPtr Num(int depth) {
+    int pick = static_cast<int>(rng_.UniformInt(0, depth <= 0 ? 2 : 4));
+    switch (pick) {
+      case 0:
+        return Expr::ConstInt(rng_.UniformInt(-20, 20));
+      case 1:
+        return Expr::Attr(rng_.Bernoulli(0.5) ? Side::kLeft : Side::kRight,
+                          static_cast<int>(rng_.UniformInt(0, 3)));
+      case 2:
+        return Expr::Ts(rng_.Bernoulli(0.5) ? Side::kLeft : Side::kRight);
+      case 3: {
+        // Division/modulo only by non-zero constants to keep both
+        // evaluators total.
+        ArithOp op = static_cast<ArithOp>(rng_.UniformInt(3, 4));
+        int64_t d = rng_.UniformInt(1, 9);
+        return Expr::Arith(op, Num(depth - 1), Expr::ConstInt(d));
+      }
+      default: {
+        ArithOp op = static_cast<ArithOp>(rng_.UniformInt(0, 2));
+        return Expr::Arith(op, Num(depth - 1), Num(depth - 1));
+      }
+    }
+  }
+
+  Tuple RandomTuple() {
+    std::vector<int64_t> vals;
+    for (int i = 0; i < 4; ++i) vals.push_back(rng_.UniformInt(-10, 10));
+    return Tuple::MakeInts(vals, rng_.UniformInt(0, 1000));
+  }
+
+ private:
+  Rng rng_;
+};
+
+class ProgramEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProgramEquivalenceTest, TreeAndProgramAgree) {
+  RandomExprGen gen(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    ExprPtr e = gen.Bool(4);
+    Program p = Program::Compile(e);
+    for (int i = 0; i < 20; ++i) {
+      Tuple l = gen.RandomTuple(), r = gen.RandomTuple();
+      ExprContext ctx{&l, &r};
+      EXPECT_EQ(e->EvalBool(ctx), p.EvalBool(ctx))
+          << "expr: " << e->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rumor

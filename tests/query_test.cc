@@ -1,0 +1,271 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+#include "query/builder.h"
+#include "query/parser.h"
+
+namespace rumor {
+namespace {
+
+Schema TenInts() { return Schema::MakeInts(10); }
+
+// --- builder ---------------------------------------------------------------
+
+TEST(BuilderTest, SourceSchema) {
+  auto b = QueryBuilder::FromSource("S", TenInts());
+  EXPECT_EQ(b.node()->op(), QueryOp::kSource);
+  EXPECT_EQ(b.schema().size(), 10);
+}
+
+TEST(BuilderTest, SelectTextPredicate) {
+  auto b = QueryBuilder::FromSource("S", TenInts()).Select("a0 = 5");
+  EXPECT_EQ(b.node()->op(), QueryOp::kSelect);
+  ASSERT_NE(b.node()->predicate(), nullptr);
+  EXPECT_EQ(b.schema().size(), 10);
+}
+
+TEST(BuilderTest, ProjectByName) {
+  auto b = QueryBuilder::FromSource("S", TenInts()).Project({"a3", "a1"});
+  EXPECT_EQ(b.schema().size(), 2);
+  EXPECT_EQ(b.schema().attribute(0).name, "a3");
+}
+
+TEST(BuilderTest, AggregateSchema) {
+  auto b = QueryBuilder::FromSource("S", TenInts())
+               .Aggregate(AggFn::kAvg, "a1", {"a0"}, 60);
+  EXPECT_EQ(b.node()->op(), QueryOp::kAggregate);
+  ASSERT_EQ(b.schema().size(), 2);
+  EXPECT_EQ(b.schema().attribute(0).name, "a0");
+  EXPECT_EQ(b.schema().attribute(1).name, "avg_a1");
+  EXPECT_EQ(b.schema().attribute(1).type, ValueType::kDouble);
+  EXPECT_EQ(b.node()->window(), 60);
+}
+
+TEST(BuilderTest, CountSchemaIsInt) {
+  auto b = QueryBuilder::FromSource("S", TenInts()).Count({"a0"}, 10);
+  EXPECT_EQ(b.schema().attribute(1).name, "count");
+  EXPECT_EQ(b.schema().attribute(1).type, ValueType::kInt);
+}
+
+TEST(BuilderTest, JoinUsesSourceAliases) {
+  auto s = QueryBuilder::FromSource("S", TenInts());
+  auto t = QueryBuilder::FromSource("T", TenInts());
+  auto j = s.Join(t, "S.a0 = T.a0", 100, 100);
+  EXPECT_EQ(j.node()->op(), QueryOp::kJoin);
+  EXPECT_EQ(j.schema().size(), 20);
+  EXPECT_EQ(j.node()->window(), 100);
+  EXPECT_EQ(j.node()->right_window(), 100);
+}
+
+TEST(BuilderTest, SequencePredicateAndWindow) {
+  auto s = QueryBuilder::FromSource("S", TenInts());
+  auto t = QueryBuilder::FromSource("T", TenInts());
+  auto q = s.Sequence(t, "S.a0 = 3 AND T.a0 = 7", 50);
+  EXPECT_EQ(q.node()->op(), QueryOp::kSequence);
+  EXPECT_EQ(q.node()->window(), 50);
+}
+
+TEST(BuilderTest, IterateSplitsMatchAndRebind) {
+  auto s = QueryBuilder::FromSource("S", TenInts());
+  auto t = QueryBuilder::FromSource("T", TenInts());
+  auto q = s.Iterate(t, "S.a0 = T.a0 AND T.a1 > last.a1", 100);
+  EXPECT_EQ(q.node()->op(), QueryOp::kIterate);
+  ASSERT_NE(q.node()->match_predicate(), nullptr);
+  ASSERT_NE(q.node()->rebind_predicate(), nullptr);
+  // Match part references only the start part (left attrs < 10).
+  EXPECT_EQ(q.node()->match_predicate()->ToString(), "(l.a0 = r.a0)");
+  // Rebind part references `last` (left attr index 10+1=11).
+  EXPECT_EQ(q.node()->rebind_predicate()->ToString(), "(r.a1 > l.a1)");
+}
+
+TEST(BuilderTest, IterateOutputSchemaNamesLastPart) {
+  auto s = QueryBuilder::FromSource("S", Schema::MakeInts(2));
+  auto t = QueryBuilder::FromSource("T", Schema::MakeInts(2));
+  auto q = s.Iterate(t, "S.a0 = T.a0", 10);
+  ASSERT_EQ(q.schema().size(), 4);
+  EXPECT_EQ(q.schema().attribute(0).name, "l.a0");
+  EXPECT_EQ(q.schema().attribute(2).name, "last.a0");
+}
+
+TEST(BuilderTest, SignatureEqualForIdenticalQueries) {
+  auto make = [] {
+    auto s = QueryBuilder::FromSource("S", TenInts());
+    auto t = QueryBuilder::FromSource("T", TenInts());
+    return s.Sequence(t, "S.a0 = 3 AND T.a0 = 7", 50).node()->Signature();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(BuilderTest, SignatureDiffersAcrossConstants) {
+  auto s = QueryBuilder::FromSource("S", TenInts());
+  auto t = QueryBuilder::FromSource("T", TenInts());
+  auto a = s.Sequence(t, "S.a0 = 3", 50).node()->Signature();
+  auto b = s.Sequence(t, "S.a0 = 4", 50).node()->Signature();
+  EXPECT_NE(a, b);
+}
+
+// --- SplitIteratePredicate edge cases ---------------------------------------
+
+TEST(SplitIterateTest, AllMatchWhenNoLastRefs) {
+  auto pred = Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 0),
+                        Expr::Attr(Side::kRight, 0));
+  ExprPtr match, rebind;
+  SplitIteratePredicate(pred, 10, &match, &rebind);
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(rebind, nullptr);
+}
+
+TEST(SplitIterateTest, NullPredicate) {
+  ExprPtr match, rebind;
+  SplitIteratePredicate(nullptr, 10, &match, &rebind);
+  EXPECT_EQ(match, nullptr);
+  EXPECT_EQ(rebind, nullptr);
+}
+
+// --- parser ------------------------------------------------------------------
+
+class RqlTest : public ::testing::Test {
+ protected:
+  RqlTest() {
+    catalog_.AddSource("S", TenInts(), /*sharable_label=*/0);
+    catalog_.AddSource("T", TenInts(), /*sharable_label=*/1);
+    Schema cpu({{"pid", ValueType::kInt}, {"load", ValueType::kInt}});
+    catalog_.AddSource("CPU", cpu);
+  }
+  Catalog catalog_;
+};
+
+TEST_F(RqlTest, SelectStar) {
+  auto q = ParseQuery("SELECT * FROM S WHERE a0 = 5", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->op(), QueryOp::kSelect);
+  EXPECT_EQ(q.value().root->child(0)->op(), QueryOp::kSource);
+}
+
+TEST_F(RqlTest, SelectProjection) {
+  auto q = ParseQuery("SELECT a2, a0 FROM S", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->op(), QueryOp::kProject);
+  EXPECT_EQ(q.value().root->output_schema().attribute(0).name, "a2");
+}
+
+TEST_F(RqlTest, AggregateWithGroupBy) {
+  auto q = ParseQuery("SELECT pid, AVG(load) FROM CPU [RANGE 60] GROUP BY pid",
+                      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const QueryNode& root = *q.value().root;
+  EXPECT_EQ(root.op(), QueryOp::kAggregate);
+  EXPECT_EQ(root.agg_fn(), AggFn::kAvg);
+  EXPECT_EQ(root.window(), 60);
+  ASSERT_EQ(root.group_by().size(), 1u);
+  EXPECT_EQ(root.output_schema().attribute(1).name, "avg_load");
+}
+
+TEST_F(RqlTest, ImplicitGroupByFromSelectList) {
+  auto q = ParseQuery("SELECT pid, COUNT(*) FROM CPU [RANGE 10]", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->group_by().size(), 1u);
+}
+
+TEST_F(RqlTest, AggregateRequiresRange) {
+  auto q = ParseQuery("SELECT AVG(load) FROM CPU", catalog_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(RqlTest, Join) {
+  auto q = ParseQuery(
+      "SELECT * FROM S [RANGE 100] JOIN T [RANGE 200] ON S.a0 = T.a0",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->op(), QueryOp::kJoin);
+  EXPECT_EQ(q.value().root->window(), 100);
+  EXPECT_EQ(q.value().root->right_window(), 200);
+}
+
+TEST_F(RqlTest, JoinRequiresWindows) {
+  auto q = ParseQuery("SELECT * FROM S JOIN T ON S.a0 = T.a0", catalog_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(RqlTest, SequenceWithin) {
+  auto q = ParseQuery(
+      "SELECT * FROM S SEQ T ON S.a0 = 3 AND T.a0 = 5 WITHIN 100", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->op(), QueryOp::kSequence);
+  EXPECT_EQ(q.value().root->window(), 100);
+}
+
+TEST_F(RqlTest, IterateWithLast) {
+  auto q = ParseQuery(
+      "SELECT * FROM S ITERATE T ON S.a0 = T.a0 AND T.a1 > last.a1 "
+      "WITHIN 100",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->op(), QueryOp::kIterate);
+  EXPECT_NE(q.value().root->match_predicate(), nullptr);
+  EXPECT_NE(q.value().root->rebind_predicate(), nullptr);
+}
+
+TEST_F(RqlTest, PatternWhereOnOutput) {
+  auto q = ParseQuery(
+      "SELECT * FROM S SEQ T ON S.a0 = 3 WITHIN 10 WHERE T.a1 > 5", catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // WHERE lands above the sequence as a selection on the concat schema.
+  EXPECT_EQ(q.value().root->op(), QueryOp::kSelect);
+  EXPECT_EQ(q.value().root->child(0)->op(), QueryOp::kSequence);
+}
+
+TEST_F(RqlTest, SubqueryWithAlias) {
+  auto q = ParseQuery(
+      "SELECT * FROM (SELECT * FROM S WHERE a0 = 1) AS X SEQ T "
+      "ON X.a1 = T.a1 WITHIN 10",
+      catalog_);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q.value().root->op(), QueryOp::kSequence);
+  EXPECT_EQ(q.value().root->child(0)->op(), QueryOp::kSelect);
+}
+
+TEST_F(RqlTest, ScriptWithNamedQueriesAndReferences) {
+  auto qs = ParseScript(
+      "SMOOTHED: SELECT pid, AVG(load) FROM CPU [RANGE 5] GROUP BY pid;\n"
+      "Q1: SELECT * FROM (SELECT * FROM SMOOTHED WHERE avg_load < 20) AS B "
+      "ITERATE SMOOTHED AS E ON B.pid = E.pid AND E.avg_load > last.avg_load "
+      "WITHIN 60;",
+      catalog_);
+  ASSERT_TRUE(qs.ok()) << qs.status().ToString();
+  ASSERT_EQ(qs.value().size(), 2u);
+  EXPECT_EQ(qs.value()[0].name, "SMOOTHED");
+  EXPECT_EQ(qs.value()[1].name, "Q1");
+  EXPECT_EQ(qs.value()[1].root->op(), QueryOp::kIterate);
+  // The ITERATE's right input is the SMOOTHED aggregate subtree.
+  EXPECT_EQ(qs.value()[1].root->child(1)->op(), QueryOp::kAggregate);
+}
+
+TEST_F(RqlTest, UnnamedScriptQueriesGetPositionalNames) {
+  auto qs = ParseScript("SELECT * FROM S; SELECT * FROM T", catalog_);
+  ASSERT_TRUE(qs.ok()) << qs.status().ToString();
+  EXPECT_EQ(qs.value()[0].name, "Q1");
+  EXPECT_EQ(qs.value()[1].name, "Q2");
+}
+
+TEST_F(RqlTest, UnknownStreamFails) {
+  auto q = ParseQuery("SELECT * FROM NOPE", catalog_);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RqlTest, GroupByWithoutAggregateFails) {
+  auto q = ParseQuery("SELECT a0 FROM S GROUP BY a0", catalog_);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(RqlTest, MultipleAggregatesUnimplemented) {
+  auto q =
+      ParseQuery("SELECT AVG(load), SUM(load) FROM CPU [RANGE 5]", catalog_);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,149 @@
+// Paper §4.3 inlining: a non-left-associative pattern S1;(S2;S3) needs two
+// Cayuga automata connected by resubscription (automaton A computes S2;S3
+// onto an intermediate stream; automaton B computes S1;MID), while a RUMOR
+// plan expresses it as a single query whose right input is itself a
+// sequence. Both must produce the same matches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cayuga/engine.h"
+#include "common/rng.h"
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "query/builder.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+namespace {
+
+constexpr int kArity = 2;
+
+Schema TwoInts() { return Schema::MakeInts(kArity); }
+
+Tuple T2(std::vector<int64_t> v, Timestamp ts) {
+  v.resize(kArity, 0);
+  return Tuple::MakeInts(v, ts);
+}
+
+ExprPtr RightEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kRight, attr),
+                   Expr::ConstInt(c));
+}
+ExprPtr LeftEq(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, attr),
+                   Expr::ConstInt(c));
+}
+
+TEST(ResubscriptionTest, RepublishedMatchesFeedAnotherAutomaton) {
+  // A: S2 ; S3 -> MID;  B: S1 ; MID -> handler.
+  CayugaEngine engine;
+  CayugaAutomaton a("A", "S2", TwoInts(), LeftEq(0, 2));
+  a.AddStage({CayugaStateKind::kSequence, "S3", RightEq(0, 3), nullptr, 100},
+             TwoInts());
+  a.RepublishAs("MID");
+  engine.AddAutomaton(a);
+
+  // MID events have the concat schema (4 attributes).
+  CayugaAutomaton b("B", "S1", TwoInts(), LeftEq(0, 1));
+  b.AddStage({CayugaStateKind::kSequence, "MID", RightEq(0, 2), nullptr,
+              100},
+             Schema::MakeInts(2 * kArity));
+  engine.AddAutomaton(b);
+
+  std::vector<Tuple> outputs;
+  engine.SetOutputHandler(
+      [&](int, const Tuple& t) { outputs.push_back(t); });
+  engine.OnEvent("S1", T2({1}, 0));
+  engine.OnEvent("S2", T2({2}, 1));
+  engine.OnEvent("S3", T2({3}, 2));  // completes A -> MID -> completes B
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].size(), 3 * kArity);  // S1 ⊕ (S2 ⊕ S3)
+  EXPECT_EQ(outputs[0].ts(), 2);
+}
+
+TEST(ResubscriptionTest, RepublishedAutomatonDoesNotFireHandler) {
+  CayugaEngine engine;
+  CayugaAutomaton a("A", "S2", TwoInts(), nullptr);
+  a.AddStage({CayugaStateKind::kSequence, "S3", nullptr, nullptr, 100},
+             TwoInts());
+  a.RepublishAs("MID");  // nobody subscribes to MID
+  engine.AddAutomaton(a);
+  int fired = 0;
+  engine.SetOutputHandler([&](int, const Tuple&) { ++fired; });
+  engine.OnEvent("S2", T2({0}, 0));
+  engine.OnEvent("S3", T2({0}, 1));
+  EXPECT_EQ(fired, 0);
+}
+
+// The equivalence the paper's inlining argument rests on: the two-automaton
+// resubscription construction computes exactly what the single right-nested
+// RUMOR query computes.
+class ResubscriptionEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ResubscriptionEquivalenceTest, TwoAutomataMatchInlinedPlan) {
+  Rng rng(GetParam());
+  const int64_t c1 = rng.UniformInt(0, 2), c2 = rng.UniformInt(0, 2),
+                c3 = rng.UniformInt(0, 2);
+  const int64_t w = 10 * (1 + rng.UniformInt(0, 3));
+
+  // Cayuga: A = σc2(S2) ; σc3(S3) -> MID;  B = σc1(S1) ; MID.
+  CayugaEngine engine;
+  CayugaAutomaton a("A", "S2", TwoInts(), LeftEq(0, c2));
+  a.AddStage({CayugaStateKind::kSequence, "S3", RightEq(0, c3), nullptr, w},
+             TwoInts());
+  a.RepublishAs("MID");
+  engine.AddAutomaton(a);
+  CayugaAutomaton b("B", "S1", TwoInts(), LeftEq(0, c1));
+  b.AddStage({CayugaStateKind::kSequence, "MID", nullptr, nullptr, w},
+             Schema::MakeInts(2 * kArity));
+  engine.AddAutomaton(b);
+  std::vector<std::string> cayuga_out;
+  engine.SetOutputHandler([&](int, const Tuple& t) {
+    cayuga_out.push_back(t.ToString());
+  });
+
+  // RUMOR: one query, right-nested: σc1(S1) ; (σc2(S2) ; σc3(S3)).
+  auto s1 = QueryBuilder::FromSource("S1", TwoInts())
+                .Select("a0 = " + std::to_string(c1));
+  auto inner = QueryBuilder::FromSource("S2", TwoInts())
+                   .Select("a0 = " + std::to_string(c2))
+                   .Sequence(QueryBuilder::FromSource("S3", TwoInts())
+                                 .Select("a0 = " + std::to_string(c3)),
+                             ExprPtr(), w);
+  Query q = s1.Sequence(inner, ExprPtr(), w).Build("Q");
+  Plan plan;
+  auto compiled = CompileQuery(q, &plan);
+  ASSERT_TRUE(compiled.ok());
+  Optimize(&plan);
+  CollectingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId ids[3] = {*plan.streams().FindSource("S1"),
+                     *plan.streams().FindSource("S2"),
+                     *plan.streams().FindSource("S3")};
+  const char* names[3] = {"S1", "S2", "S3"};
+
+  Rng feed(GetParam() ^ 0x5e5);
+  for (int i = 0; i < 600; ++i) {
+    int which = static_cast<int>(feed.UniformInt(0, 2));
+    Tuple t = T2({feed.UniformInt(0, 2), feed.UniformInt(0, 2)}, i);
+    engine.OnEvent(names[which], t);
+    exec.PushSource(ids[which], t);
+  }
+
+  std::vector<std::string> rumor_out;
+  for (const Tuple& t : sink.ForStream(*plan.OutputStreamOf("Q"))) {
+    rumor_out.push_back(t.ToString());
+  }
+  std::sort(rumor_out.begin(), rumor_out.end());
+  std::sort(cayuga_out.begin(), cayuga_out.end());
+  EXPECT_EQ(rumor_out, cayuga_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResubscriptionEquivalenceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rumor

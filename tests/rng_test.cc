@@ -1,0 +1,126 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rumor {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.UniformInt(0, 9)]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 700) << "value " << v << " underrepresented";
+    EXPECT_LT(c, 1300) << "value " << v << " overrepresented";
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, DomainBounds) {
+  Rng rng(42);
+  ZipfGenerator zipf(1000, 1.5);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+  }
+}
+
+TEST(ZipfTest, FavorsLargeValues) {
+  // Paper §5.1: "a window of length 1000 is most likely to be chosen".
+  Rng rng(42);
+  ZipfGenerator zipf(1000, 1.5);
+  int top = 0, bottom = 0;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = zipf.Sample(rng);
+    if (v > 900) ++top;
+    if (v <= 100) ++bottom;
+  }
+  EXPECT_GT(top, 10 * (bottom + 1));
+}
+
+TEST(ZipfTest, RankOneIsMode) {
+  Rng rng(9);
+  ZipfGenerator zipf(100, 1.5);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  // The largest value must be the most frequent.
+  int max_count = 0;
+  int64_t max_value = 0;
+  for (const auto& [v, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_value = v;
+    }
+  }
+  EXPECT_EQ(max_value, 100);
+}
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  Rng rng1(5), rng2(5);
+  ZipfGenerator mild(1000, 1.2), steep(1000, 2.0);
+  int mild_mode = 0, steep_mode = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (mild.Sample(rng1) == 1000) ++mild_mode;
+    if (steep.Sample(rng2) == 1000) ++steep_mode;
+  }
+  EXPECT_GT(steep_mode, mild_mode);
+}
+
+TEST(ZipfTest, SampleRankFavorsSmallRanks) {
+  Rng rng(13);
+  ZipfGenerator zipf(1000, 1.5);
+  int small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf.SampleRank(rng) <= 10) ++small;
+  }
+  EXPECT_GT(small, 5000);  // >half the mass on the 10 smallest ranks
+}
+
+TEST(ZipfTest, SingletonDomain) {
+  Rng rng(1);
+  ZipfGenerator zipf(1, 1.5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 1);
+}
+
+}  // namespace
+}  // namespace rumor

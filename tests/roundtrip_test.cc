@@ -1,0 +1,132 @@
+// Round-trip properties: Expr::ToString() output re-parses to a structurally
+// identical expression, and Status/Result behave as documented.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "expr/parser_expr.h"
+
+namespace rumor {
+namespace {
+
+// Random expressions restricted to the printable-and-reparsable fragment
+// (non-negative integer constants; attribute names a0..a3 on both sides).
+class Gen {
+ public:
+  explicit Gen(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Bool(int depth) {
+    switch (rng_.UniformInt(0, depth <= 0 ? 0 : 3)) {
+      case 0: {
+        CmpOp op = static_cast<CmpOp>(rng_.UniformInt(0, 5));
+        return Expr::Cmp(op, Num(depth - 1), Num(depth - 1));
+      }
+      case 1:
+        return Expr::And(Bool(depth - 1), Bool(depth - 1));
+      case 2:
+        return Expr::Or(Bool(depth - 1), Bool(depth - 1));
+      default:
+        return Expr::Not(Bool(depth - 1));
+    }
+  }
+
+  ExprPtr Num(int depth) {
+    switch (rng_.UniformInt(0, depth <= 0 ? 1 : 2)) {
+      case 0:
+        return Expr::ConstInt(rng_.UniformInt(0, 99));
+      case 1: {
+        Side side = rng_.Bernoulli(0.5) ? Side::kLeft : Side::kRight;
+        int idx = static_cast<int>(rng_.UniformInt(0, 3));
+        return Expr::Attr(side, idx, "a" + std::to_string(idx));
+      }
+      default: {
+        ArithOp op = static_cast<ArithOp>(rng_.UniformInt(0, 2));
+        return Expr::Arith(op, Num(depth - 1), Num(depth - 1));
+      }
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+class ExprRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprRoundTripTest, ToStringReparsesStructurallyEqual) {
+  Gen gen(GetParam());
+  Schema schema = Schema::MakeInts(4);
+  ExprParseContext ctx;
+  ctx.bindings.push_back({"l", Side::kLeft, &schema, 0});
+  ctx.bindings.push_back({"r", Side::kRight, &schema, 0});
+  for (int i = 0; i < 50; ++i) {
+    ExprPtr e = gen.Bool(4);
+    std::string text = e->ToString();
+    auto reparsed = ParseExpr(text, ctx);
+    ASSERT_TRUE(reparsed.ok()) << text << ": "
+                               << reparsed.status().ToString();
+    EXPECT_TRUE(e->Equals(*reparsed.value()))
+        << "original: " << text
+        << "\nreparsed: " << reparsed.value()->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status {
+    RUMOR_RETURN_IF_ERROR(Status::Internal("boom"));
+    return Status::OK();
+  };
+  auto passes = []() -> Status {
+    RUMOR_RETURN_IF_ERROR(Status::OK());
+    return Status::AlreadyExists("reached the end");
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kInternal);
+  EXPECT_EQ(passes().code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/schema.h"
+#include "common/tuple.h"
+
+namespace rumor {
+namespace {
+
+TEST(SchemaTest, MakeInts) {
+  Schema s = Schema::MakeInts(3);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.attribute(0).name, "a0");
+  EXPECT_EQ(s.attribute(2).name, "a2");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kInt);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::MakeInts(4, "x");
+  EXPECT_EQ(s.IndexOf("x2").value(), 2);
+  EXPECT_FALSE(s.IndexOf("nope").has_value());
+}
+
+TEST(SchemaTest, Compatibility) {
+  Schema a = Schema::MakeInts(3);
+  Schema b = Schema::MakeInts(3);
+  Schema c = Schema::MakeInts(4);
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+}
+
+TEST(SchemaTest, Concat) {
+  Schema l = Schema::MakeInts(2);
+  Schema r = Schema::MakeInts(1, "b");
+  Schema c = Schema::Concat(l, r);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_EQ(c.attribute(0).name, "l.a0");
+  EXPECT_EQ(c.attribute(2).name, "r.b0");
+}
+
+TEST(SchemaTest, SignatureSensitiveToNamesAndTypes) {
+  Schema a({{"x", ValueType::kInt}});
+  Schema b({{"y", ValueType::kInt}});
+  Schema c({{"x", ValueType::kDouble}});
+  EXPECT_NE(a.Signature(), b.Signature());
+  EXPECT_NE(a.Signature(), c.Signature());
+  EXPECT_EQ(a.Signature(), Schema({{"x", ValueType::kInt}}).Signature());
+}
+
+TEST(TupleTest, MakeIntsAndAccess) {
+  Tuple t = Tuple::MakeInts({10, 20, 30}, 5);
+  EXPECT_EQ(t.ts(), 5);
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t.at(1).AsInt(), 20);
+}
+
+TEST(TupleTest, SharedPayloadOnCopy) {
+  Tuple t = Tuple::MakeInts({1, 2}, 0);
+  Tuple u = t;
+  EXPECT_EQ(t.payload().get(), u.payload().get());
+}
+
+TEST(TupleTest, WithTimestampSharesPayload) {
+  Tuple t = Tuple::MakeInts({1, 2}, 0);
+  Tuple u = t.WithTimestamp(9);
+  EXPECT_EQ(u.ts(), 9);
+  EXPECT_EQ(t.payload().get(), u.payload().get());
+}
+
+TEST(TupleTest, ContentEquality) {
+  Tuple a = Tuple::MakeInts({1, 2}, 3);
+  Tuple b = Tuple::MakeInts({1, 2}, 3);
+  Tuple c = Tuple::MakeInts({1, 2}, 4);
+  Tuple d = Tuple::MakeInts({1, 3}, 3);
+  EXPECT_TRUE(a.ContentEquals(b));
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  EXPECT_FALSE(a.ContentEquals(c));
+  EXPECT_FALSE(a.ContentEquals(d));
+}
+
+TEST(TupleTest, ConcatTuples) {
+  Tuple l = Tuple::MakeInts({1, 2}, 3);
+  Tuple r = Tuple::MakeInts({9}, 7);
+  Tuple c = ConcatTuples(l, r, 7);
+  EXPECT_EQ(c.ts(), 7);
+  ASSERT_EQ(c.size(), 3);
+  EXPECT_EQ(c.at(0).AsInt(), 1);
+  EXPECT_EQ(c.at(2).AsInt(), 9);
+}
+
+TEST(TupleTest, EmptyTuple) {
+  Tuple t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+}  // namespace
+}  // namespace rumor

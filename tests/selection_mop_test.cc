@@ -1,0 +1,179 @@
+#include "mop/selection_mop.h"
+
+#include <gtest/gtest.h>
+
+#include "mop/predicate_index_mop.h"
+#include "mop_test_util.h"
+
+namespace rumor {
+namespace {
+
+ExprPtr EqConst(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, attr),
+                   Expr::ConstInt(c));
+}
+ExprPtr GtConst(int attr, int64_t c) {
+  return Expr::Cmp(CmpOp::kGt, Expr::Attr(Side::kLeft, attr),
+                   Expr::ConstInt(c));
+}
+
+TEST(SelectionMopTest, SingleMemberFilters) {
+  SelectionMop mop({{0, {EqConst(0, 5)}}}, OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({5, 1}, 0)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({6, 1}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({5, 2}, 2)), out);
+  ASSERT_EQ(out.port(0).size(), 2u);
+  EXPECT_EQ(out.port(0)[0].tuple.ts(), 0);
+  EXPECT_EQ(out.port(0)[1].tuple.ts(), 2);
+}
+
+TEST(SelectionMopTest, NullPredicatePassesAll) {
+  SelectionMop mop({{0, {nullptr}}}, OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({1}, 0)), out);
+  EXPECT_EQ(out.port(0).size(), 1u);
+}
+
+TEST(SelectionMopTest, MultiMemberIndependentOutputs) {
+  SelectionMop mop({{0, {EqConst(0, 1)}}, {0, {EqConst(0, 2)}}},
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(2);
+  mop.Process(0, Plain(Tuple::MakeInts({1}, 0)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({2}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({3}, 2)), out);
+  EXPECT_EQ(out.port(0).size(), 1u);
+  EXPECT_EQ(out.port(1).size(), 1u);
+}
+
+TEST(SelectionMopTest, ChannelOutputSharesTuple) {
+  // Both members match -> one channel tuple with membership {0,1}.
+  SelectionMop mop({{0, {GtConst(0, 0)}}, {0, {GtConst(0, -1)}}},
+                   OutputMode::kChannel);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({7}, 0)), out);
+  ASSERT_EQ(out.port(0).size(), 1u);
+  EXPECT_EQ(out.port(0)[0].membership.Count(), 2);
+}
+
+TEST(SelectionMopTest, InputSlotRespected) {
+  // Member 0 reads slot 0, member 1 reads slot 1 of a capacity-2 channel.
+  SelectionMop mop({{0, {nullptr}}, {1, {nullptr}}},
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(2);
+  ChannelTuple ct{Tuple::MakeInts({1}, 0), BitVector::Singleton(1, 2)};
+  mop.Process(0, ct, out);
+  EXPECT_EQ(out.port(0).size(), 0u);
+  EXPECT_EQ(out.port(1).size(), 1u);
+}
+
+TEST(PredicateIndexMopTest, IndexesEqualityMembers) {
+  std::vector<SelectionDef> members = {
+      {EqConst(0, 1)}, {EqConst(0, 2)}, {EqConst(1, 3)}, {GtConst(0, 5)}};
+  PredicateIndexMop mop(members, OutputMode::kPerMemberPorts);
+  EXPECT_EQ(mop.num_indexed_members(), 3);
+}
+
+TEST(PredicateIndexMopTest, ResidualChecked) {
+  // a0 = 1 AND a1 > 10 : index on a0, residual on a1.
+  std::vector<SelectionDef> members = {
+      {Expr::And(EqConst(0, 1), GtConst(1, 10))}};
+  PredicateIndexMop mop(members, OutputMode::kPerMemberPorts);
+  EXPECT_EQ(mop.num_indexed_members(), 1);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({1, 11}, 0)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({1, 9}, 1)), out);
+  mop.Process(0, Plain(Tuple::MakeInts({2, 20}, 2)), out);
+  ASSERT_EQ(out.port(0).size(), 1u);
+  EXPECT_EQ(out.port(0)[0].tuple.ts(), 0);
+}
+
+// Property: PredicateIndexMop ≡ one-by-one SelectionMop on random workloads.
+class PredicateIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PredicateIndexPropertyTest, MatchesReference) {
+  Rng rng(GetParam());
+  const int num_members = 1 + static_cast<int>(rng.UniformInt(1, 40));
+  const int arity = 4;
+  const int64_t domain = 8;  // small domain => frequent matches
+
+  std::vector<SelectionDef> defs;
+  std::vector<SelectionMop::Member> ref_members;
+  for (int i = 0; i < num_members; ++i) {
+    ExprPtr pred;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // indexable equality
+        pred = EqConst(static_cast<int>(rng.UniformInt(0, arity - 1)),
+                       rng.UniformInt(0, domain - 1));
+        break;
+      case 1:  // equality + residual
+        pred = Expr::And(
+            EqConst(static_cast<int>(rng.UniformInt(0, arity - 1)),
+                    rng.UniformInt(0, domain - 1)),
+            GtConst(static_cast<int>(rng.UniformInt(0, arity - 1)),
+                    rng.UniformInt(0, domain - 1)));
+        break;
+      case 2:  // non-indexable
+        pred = GtConst(static_cast<int>(rng.UniformInt(0, arity - 1)),
+                       rng.UniformInt(0, domain - 1));
+        break;
+      default:  // disjunction (never indexable)
+        pred = Expr::Or(EqConst(0, rng.UniformInt(0, domain - 1)),
+                        EqConst(1, rng.UniformInt(0, domain - 1)));
+        break;
+    }
+    defs.push_back({pred});
+    ref_members.push_back({0, {pred}});
+  }
+
+  PredicateIndexMop optimized(defs, OutputMode::kPerMemberPorts);
+  SelectionMop reference(ref_members, OutputMode::kPerMemberPorts);
+  CollectingEmitter opt_out(num_members), ref_out(num_members);
+  for (int i = 0; i < 300; ++i) {
+    Tuple t = RandomTuple(rng, arity, domain, i);
+    optimized.Process(0, Plain(t), opt_out);
+    reference.Process(0, Plain(t), ref_out);
+  }
+  for (int m = 0; m < num_members; ++m) {
+    ExpectSameTuples(opt_out.PortTuples(m), ref_out.PortTuples(m),
+                     "member " + std::to_string(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateIndexPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// Property: ChannelSelectMop ≡ one-by-one members over channel slots.
+class ChannelSelectPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ChannelSelectPropertyTest, MatchesReference) {
+  Rng rng(GetParam());
+  const int capacity = 1 + static_cast<int>(rng.UniformInt(1, 8));
+  ExprPtr pred = GtConst(0, rng.UniformInt(0, 5));
+
+  ChannelSelectMop optimized({pred}, capacity, OutputMode::kChannel);
+  std::vector<SelectionMop::Member> ref_members;
+  for (int i = 0; i < capacity; ++i) ref_members.push_back({i, {pred}});
+  SelectionMop reference(ref_members, OutputMode::kPerMemberPorts);
+
+  CollectingEmitter opt_out(1), ref_out(capacity);
+  for (int i = 0; i < 200; ++i) {
+    ChannelTuple ct{RandomTuple(rng, 3, 10, i),
+                    RandomMembership(rng, capacity)};
+    optimized.Process(0, ct, opt_out);
+    reference.Process(0, ct, ref_out);
+  }
+  auto decoded = opt_out.DecodePort0(capacity);
+  for (int m = 0; m < capacity; ++m) {
+    ExpectSameTuples(decoded[m], ref_out.PortTuples(m),
+                     "slot " + std::to_string(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelSelectPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "stream/channel.h"
+#include "stream/stream.h"
+
+namespace rumor {
+namespace {
+
+TEST(StreamRegistryTest, AddAndLookup) {
+  StreamRegistry reg;
+  StreamId s = reg.AddSource("S", Schema::MakeInts(2), 0);
+  StreamId t = reg.AddSource("T", Schema::MakeInts(2), 0);
+  StreamId d = reg.AddDerived("sigma1", Schema::MakeInts(2));
+  EXPECT_EQ(reg.size(), 3);
+  EXPECT_EQ(reg.Get(s).name, "S");
+  EXPECT_TRUE(reg.Get(s).is_source);
+  EXPECT_FALSE(reg.Get(d).is_source);
+  EXPECT_EQ(reg.FindSource("T").value(), t);
+  EXPECT_FALSE(reg.FindSource("sigma1").has_value());  // derived, not source
+  EXPECT_EQ(reg.Sources().size(), 2u);
+}
+
+TEST(StreamRegistryTest, SharableLabels) {
+  StreamRegistry reg;
+  StreamId a = reg.AddSource("A", Schema::MakeInts(1), 7);
+  StreamId b = reg.AddSource("B", Schema::MakeInts(1));
+  EXPECT_EQ(reg.Get(a).sharable_label, 7);
+  EXPECT_EQ(reg.Get(b).sharable_label, -1);
+}
+
+TEST(ChannelTest, SlotLookup) {
+  ChannelDef ch(0, {5, 9, 12}, Schema::MakeInts(2));
+  EXPECT_EQ(ch.capacity(), 3);
+  EXPECT_EQ(ch.SlotOf(9).value(), 1);
+  EXPECT_FALSE(ch.SlotOf(100).has_value());
+  EXPECT_EQ(ch.stream_at(2), 12);
+}
+
+TEST(ChannelTest, SingletonEncoding) {
+  ChannelDef ch(0, {5, 9}, Schema::MakeInts(1));
+  ChannelTuple ct = ch.MakeSingleton(Tuple::MakeInts({1}, 0), 1);
+  EXPECT_FALSE(ct.membership.Test(0));
+  EXPECT_TRUE(ct.membership.Test(1));
+}
+
+TEST(ChannelTest, BroadcastEncoding) {
+  ChannelDef ch(0, {5, 9, 12}, Schema::MakeInts(1));
+  ChannelTuple ct = ch.MakeBroadcast(Tuple::MakeInts({1}, 0));
+  EXPECT_EQ(ct.membership.Count(), 3);
+}
+
+TEST(ChannelTest, DecodeRoundTrip) {
+  ChannelDef ch(0, {5, 9, 12}, Schema::MakeInts(1));
+  BitVector m(3);
+  m.Set(0);
+  m.Set(2);
+  ChannelTuple ct = ch.MakeTuple(Tuple::MakeInts({42}, 3), m);
+  auto decoded = ch.Decode(ct);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].first, 5);
+  EXPECT_EQ(decoded[1].first, 12);
+  EXPECT_TRUE(decoded[0].second.ContentEquals(ct.tuple));
+  // The decoded views share the channel tuple's payload (space sharing).
+  EXPECT_EQ(decoded[0].second.payload().get(), ct.tuple.payload().get());
+}
+
+}  // namespace
+}  // namespace rumor

@@ -1,0 +1,95 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace rumor {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v(int64_t{42});
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v(2.5);
+  EXPECT_EQ(v.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v(std::string("abc"));
+  EXPECT_EQ(v.type(), ValueType::kString);
+  EXPECT_EQ(v.AsString(), "abc");
+  EXPECT_EQ(v.ToString(), "\"abc\"");
+}
+
+TEST(ValueTest, BoolRoundTrip) {
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_FALSE(Value(false).AsBool());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value(int64_t{5}), Value(int64_t{5}));
+  EXPECT_GT(Value(int64_t{9}), Value(int64_t{-9}));
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  // Int and double compare numerically.
+  EXPECT_EQ(Value(int64_t{2}), Value(2.0));
+  EXPECT_LT(Value(int64_t{2}), Value(2.5));
+  EXPECT_GT(Value(3.5), Value(int64_t{3}));
+}
+
+TEST(ValueTest, CrossNumericHashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("x"), Value(std::string("x")));
+}
+
+TEST(ValueTest, MixedTypeOrderIsStable) {
+  // Non-numeric cross-type comparisons order by type tag (documented).
+  Value null_v;
+  Value str("a");
+  EXPECT_LT(null_v, str);
+  EXPECT_GT(str, null_v);
+}
+
+TEST(ValueTest, HashDiffersForDifferentInts) {
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, Arithmetic) {
+  EXPECT_EQ(ValueAdd(Value(int64_t{2}), Value(int64_t{3})).AsInt(), 5);
+  EXPECT_EQ(ValueSub(Value(int64_t{2}), Value(int64_t{3})).AsInt(), -1);
+  EXPECT_EQ(ValueMul(Value(int64_t{4}), Value(int64_t{3})).AsInt(), 12);
+  EXPECT_EQ(ValueDiv(Value(int64_t{7}), Value(int64_t{2})).AsInt(), 3);
+  EXPECT_EQ(ValueMod(Value(int64_t{7}), Value(int64_t{3})).AsInt(), 1);
+}
+
+TEST(ValueTest, ArithmeticPromotesToDouble) {
+  Value r = ValueAdd(Value(int64_t{1}), Value(0.5));
+  EXPECT_EQ(r.type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(r.AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(ValueDiv(Value(1.0), Value(int64_t{4})).AsDouble(), 0.25);
+}
+
+TEST(ValueTest, ToNumericCoercions) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{3}).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(true).ToNumeric(), 1.0);
+  EXPECT_DOUBLE_EQ(Value(0.25).ToNumeric(), 0.25);
+}
+
+}  // namespace
+}  // namespace rumor

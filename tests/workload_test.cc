@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "plan/compile.h"
+#include "plan/executor.h"
+#include "rules/rule_engine.h"
+#include "workload/harness.h"
+#include "workload/perfmon.h"
+#include "workload/workloads.h"
+
+namespace rumor {
+namespace {
+
+TEST(SyntheticTest, InterleavedStreamsAlternate) {
+  SyntheticParams params;
+  Rng rng(1);
+  auto events = GenerateInterleaved(params, 100, 0, rng);
+  ASSERT_EQ(events.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(events[i].tuple.ts(), i);
+    EXPECT_EQ(events[i].stream, i % 2);
+    EXPECT_EQ(events[i].tuple.size(), params.num_attributes);
+    for (int k = 0; k < params.num_attributes; ++k) {
+      int64_t v = events[i].tuple.at(k).AsInt();
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, params.constant_domain);
+    }
+  }
+}
+
+TEST(SyntheticTest, SamplerDomains) {
+  SyntheticParams params;
+  QueryParamSampler sampler(params);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t c = sampler.Constant(rng);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, params.constant_domain);
+    int64_t w = sampler.Window(rng);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, params.window_domain);
+  }
+}
+
+// Runs both representations of a workload and compares *per-query* output
+// counts (duplicate queries share an output stream after CSE, so totals via
+// a stream-level sink would undercount on the RUMOR side).
+void ExpectPerQueryAgreement(const std::vector<Query>& queries,
+                             const std::vector<CayugaAutomaton>& automata,
+                             const std::vector<Event>& events) {
+  Plan plan;
+  auto compiled = CompileQueries(queries, &plan);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  Optimize(&plan);
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId s = *plan.streams().FindSource("S");
+  StreamId t = *plan.streams().FindSource("T");
+
+  CayugaEngine engine;
+  std::vector<int64_t> cayuga_counts(automata.size(), 0);
+  for (const auto& a : automata) engine.AddAutomaton(a);
+  engine.SetOutputHandler(
+      [&](int q, const Tuple&) { ++cayuga_counts[q]; });
+
+  for (const Event& e : events) {
+    exec.PushSource(e.stream == 0 ? s : t, e.tuple);
+    engine.OnEvent(e.stream == 0 ? "S" : "T", e.tuple);
+  }
+  int64_t total = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    int64_t rumor_count =
+        sink.ForStream(*plan.OutputStreamOf(queries[i].name));
+    EXPECT_EQ(rumor_count, cayuga_counts[i]) << "query " << queries[i].name;
+    total += rumor_count;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(WorkloadTest, W1QueryAndAutomatonAgree) {
+  SyntheticParams params;
+  params.num_queries = 8;
+  params.constant_domain = 4;  // dense matches
+  params.num_tuples = 600;
+  Rng rng(3);
+  auto specs = DrawW1Specs(params, rng);
+  Schema schema = params.MakeSchema();
+
+  std::vector<Query> queries;
+  std::vector<CayugaAutomaton> automata;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].c1 %= 4;  // densify
+    specs[i].c3 %= 4;
+    queries.push_back(MakeW1Query("Q" + std::to_string(i), specs[i], schema));
+    automata.push_back(
+        MakeW1Automaton("Q" + std::to_string(i), specs[i], schema));
+  }
+  Rng feed(99);
+  auto events = GenerateInterleaved(params, params.num_tuples, 0, feed);
+  ExpectPerQueryAgreement(queries, automata, events);
+}
+
+TEST(WorkloadTest, W2QueryAndAutomatonAgree) {
+  SyntheticParams params;
+  params.num_queries = 5;
+  params.constant_domain = 4;
+  params.num_tuples = 400;
+  for (bool iterate : {false, true}) {
+    Rng rng(4);
+    auto specs = DrawW2Specs(params, iterate, rng);
+    Schema schema = params.MakeSchema();
+    std::vector<Query> queries;
+    std::vector<CayugaAutomaton> automata;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      queries.push_back(
+          MakeW2Query("Q" + std::to_string(i), specs[i], schema));
+      automata.push_back(
+          MakeW2Automaton("Q" + std::to_string(i), specs[i], schema));
+    }
+    Rng feed(98);
+    auto events = GenerateInterleaved(params, params.num_tuples, 0, feed);
+    ExpectPerQueryAgreement(queries, automata, events);
+  }
+}
+
+TEST(WorkloadTest, W3ChannelPlanEquivalentToPlainPlan) {
+  // Same queries, channel rules on vs off, broadcast-fed vs round-robin:
+  // identical per-query outputs.
+  const int n = 6;
+  Schema schema = SyntheticParams().MakeSchema();
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.push_back(MakeW3Query("Q" + std::to_string(i), i, 50, schema));
+  }
+  auto run = [&](bool with_channel) {
+    Plan plan;
+    auto compiled = CompileQueries(queries, &plan);
+    RUMOR_CHECK(compiled.ok());
+    OptimizerOptions opts;
+    opts.enable_channels = with_channel;
+    Optimize(&plan, opts);
+    CountingSink sink;
+    Executor exec(&plan, &sink);
+    exec.Prepare();
+    ChannelId group = kInvalidChannel;
+    if (with_channel) {
+      auto groups = plan.SourceGroupChannels();
+      RUMOR_CHECK(groups.size() == 1);
+      group = groups[0];
+    }
+    Rng rng(5);
+    std::vector<int64_t> per_query(n, 0);
+    for (int r = 0; r < 200; ++r) {
+      Tuple s = Tuple::MakeInts({rng.UniformInt(0, 3), 0}, 2 * r);
+      if (with_channel) {
+        exec.PushChannel(group, ChannelTuple{s, BitVector::AllOnes(n)});
+      } else {
+        for (int i = 0; i < n; ++i) {
+          exec.PushSource(
+              *plan.streams().FindSource("S" + std::to_string(i)), s);
+        }
+      }
+      Tuple t = Tuple::MakeInts({rng.UniformInt(0, 3), 0}, 2 * r + 1);
+      exec.PushSource(*plan.streams().FindSource("T"), t);
+    }
+    for (int i = 0; i < n; ++i) {
+      per_query[i] =
+          sink.ForStream(*plan.OutputStreamOf("Q" + std::to_string(i)));
+    }
+    return per_query;
+  };
+  auto with_channel = run(true);
+  auto without = run(false);
+  EXPECT_EQ(with_channel, without);
+  EXPECT_GT(with_channel[0], 0);
+}
+
+TEST(PerfmonTest, TraceShape) {
+  PerfmonParams params;
+  params.num_processes = 10;
+  params.duration_seconds = 50;
+  auto trace = GeneratePerfmonTrace(params);
+  ASSERT_EQ(trace.size(), 500u);
+  Timestamp prev = -1;
+  for (const Tuple& t : trace) {
+    EXPECT_GE(t.ts(), prev);
+    prev = t.ts();
+    int64_t pid = t.at(0).AsInt();
+    int64_t load = t.at(1).AsInt();
+    EXPECT_GE(pid, 0);
+    EXPECT_LT(pid, params.num_processes);
+    EXPECT_GE(load, 0);
+    EXPECT_LE(load, 100);
+  }
+}
+
+TEST(PerfmonTest, TraceContainsRamps) {
+  PerfmonParams params;
+  params.num_processes = 20;
+  params.duration_seconds = 300;
+  params.ramp_start_probability = 0.02;
+  auto trace = GeneratePerfmonTrace(params);
+  // Some process must reach a high load (a ramp ran to completion).
+  int64_t max_load = 0;
+  for (const Tuple& t : trace) {
+    max_load = std::max(max_load, t.at(1).AsInt());
+  }
+  EXPECT_GT(max_load, 60);
+}
+
+TEST(PerfmonTest, HybridQueryCompilesAndRuns) {
+  PerfmonParams params;
+  params.num_processes = 8;
+  params.duration_seconds = 120;
+  auto trace = GeneratePerfmonTrace(params);
+
+  std::vector<Query> queries;
+  for (int i = 0; i < 4; ++i) {
+    queries.push_back(MakeHybridQuery(i, /*sel=*/0.8, /*smooth_window=*/10));
+  }
+  auto run = [&](bool with_channel) {
+    Plan plan;
+    auto compiled = CompileQueries(queries, &plan);
+    RUMOR_CHECK(compiled.ok()) << compiled.status().ToString();
+    OptimizerOptions opts;
+    opts.enable_channels = with_channel;
+    Optimize(&plan, opts);
+    CountingSink sink;
+    Executor exec(&plan, &sink);
+    exec.Prepare();
+    StreamId cpu = *plan.streams().FindSource("CPU");
+    for (const Tuple& t : trace) exec.PushSource(cpu, t);
+    std::vector<int64_t> per_query;
+    for (int i = 0; i < 4; ++i) {
+      per_query.push_back(
+          sink.ForStream(*plan.OutputStreamOf("H" + std::to_string(i))));
+    }
+    return per_query;
+  };
+  auto with_channel = run(true);
+  auto without = run(false);
+  EXPECT_EQ(with_channel, without);
+  int64_t total = 0;
+  for (int64_t n : with_channel) total += n;
+  EXPECT_GT(total, 0) << "hybrid queries should detect some ramps";
+}
+
+TEST(PerfmonTest, SelectivityZeroProducesNothing) {
+  PerfmonParams params;
+  params.num_processes = 5;
+  params.duration_seconds = 60;
+  auto trace = GeneratePerfmonTrace(params);
+  Plan plan;
+  auto compiled =
+      CompileQueries({MakeHybridQuery(0, 0.0, 10)}, &plan);
+  ASSERT_TRUE(compiled.ok());
+  Optimize(&plan);
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId cpu = *plan.streams().FindSource("CPU");
+  for (const Tuple& t : trace) exec.PushSource(cpu, t);
+  EXPECT_EQ(sink.total(), 0);
+}
+
+}  // namespace
+}  // namespace rumor
