@@ -36,18 +36,34 @@ inline Scale GetScale() {
   return s;
 }
 
+// Batch size for the batched-dispatch column (RUMOR_BENCH_BATCH, default
+// 256). The W1/W2 feeds alternate S/T strictly, so same-stream runs are
+// length 1 and the column measures the batch API's fallback overhead; see
+// bench_agg_batch for a workload where batching has runs to work with.
+inline int64_t GetBatchSize() {
+  const char* env = std::getenv("RUMOR_BENCH_BATCH");
+  if (env != nullptr) {
+    int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return 256;
+}
+
 inline void PrintHeader(const char* figure, const char* x_name,
                         const char* description) {
   std::printf("# %s — %s\n", figure, description);
   std::printf("# normalized values are relative to each system's first row "
-              "(paper §5.2 methodology)\n");
-  std::printf("%-12s %16s %16s %12s %12s\n", x_name, "rumor_ev/s",
-              "cayuga_ev/s", "rumor_norm", "cayuga_norm");
+              "(paper §5.2 methodology); rumor_batch uses "
+              "PushSourceBatch(batch=%lld)\n",
+              static_cast<long long>(GetBatchSize()));
+  std::printf("%-12s %16s %16s %16s %12s %12s\n", x_name, "rumor_ev/s",
+              "rumor_batch", "cayuga_ev/s", "rumor_norm", "cayuga_norm");
 }
 
 struct Row {
   int64_t x;
   double rumor = 0;
+  double rumor_batch = 0;
   double cayuga = 0;
 };
 
@@ -56,8 +72,8 @@ inline void PrintRows(const std::vector<Row>& rows) {
   double cayuga_base =
       rows.empty() || rows[0].cayuga == 0 ? 1 : rows[0].cayuga;
   for (const Row& r : rows) {
-    std::printf("%-12lld %16.0f %16.0f %12.3f %12.3f\n",
-                static_cast<long long>(r.x), r.rumor, r.cayuga,
+    std::printf("%-12lld %16.0f %16.0f %16.0f %12.3f %12.3f\n",
+                static_cast<long long>(r.x), r.rumor, r.rumor_batch, r.cayuga,
                 r.rumor / rumor_base, r.cayuga / cayuga_base);
   }
 }
@@ -80,9 +96,12 @@ inline Row MeasureW1(const SyntheticParams& params, int64_t warmup) {
       GenerateInterleaved(params, params.num_tuples, 0, feed_rng);
 
   RumorRun rumor = RunRumor(queries, OptimizerOptions{}, events, warmup);
+  RumorRun batched = RunRumorBatched(queries, OptimizerOptions{}, events,
+                                     warmup, GetBatchSize());
   CayugaRun cayuga =
       RunCayuga(automata, CayugaEngine::Options{}, events, warmup);
   return Row{0, rumor.result.EventsPerSecond(),
+             batched.result.EventsPerSecond(),
              cayuga.result.EventsPerSecond()};
 }
 
@@ -105,9 +124,12 @@ inline Row MeasureW2(const SyntheticParams& params, bool iterate,
       GenerateInterleaved(params, params.num_tuples, 0, feed_rng);
 
   RumorRun rumor = RunRumor(queries, OptimizerOptions{}, events, warmup);
+  RumorRun batched = RunRumorBatched(queries, OptimizerOptions{}, events,
+                                     warmup, GetBatchSize());
   CayugaRun cayuga =
       RunCayuga(automata, CayugaEngine::Options{}, events, warmup);
   return Row{0, rumor.result.EventsPerSecond(),
+             batched.result.EventsPerSecond(),
              cayuga.result.EventsPerSecond()};
 }
 

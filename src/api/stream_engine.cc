@@ -99,16 +99,28 @@ Status StreamEngine::Start() {
   return Status::OK();
 }
 
-Status StreamEngine::Push(const std::string& source, const Tuple& tuple) {
+Result<StreamId> StreamEngine::FindSourceId(const std::string& source) const {
   if (!started()) return Status::Internal("call Start() first");
   for (const auto& [name, id] : source_ids_) {
-    if (name == source) {
-      executor_->PushSource(id, tuple);
-      return Status::OK();
-    }
+    if (name == source) return id;
   }
   return Status::NotFound(
       StrCat("source '", source, "' is not read by any query"));
+}
+
+Status StreamEngine::Push(const std::string& source, const Tuple& tuple) {
+  auto id = FindSourceId(source);
+  if (!id.ok()) return id.status();
+  executor_->PushSource(id.value(), tuple);
+  return Status::OK();
+}
+
+Status StreamEngine::PushBatch(const std::string& source,
+                               std::span<const Tuple> tuples) {
+  auto id = FindSourceId(source);
+  if (!id.ok()) return id.status();
+  executor_->PushSourceBatch(id.value(), tuples);
+  return Status::OK();
 }
 
 int64_t StreamEngine::OutputCount(const std::string& query_name) const {

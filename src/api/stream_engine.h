@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,15 @@ class StreamEngine {
   // Pushes one tuple into a source stream (timestamps non-decreasing).
   Status Push(const std::string& source, const Tuple& tuple);
 
+  // Pushes a run of consecutive tuples of one source in a single call.
+  // Every query receives the same results in the same order as per-tuple
+  // Push calls — only the interleaving of the output handler *across
+  // different queries* may differ within a batch — and the batch traverses
+  // each operator of the shared plan once, amortizing dispatch overhead
+  // (the executor falls back to per-tuple dispatch on plan shapes where
+  // batching could reorder stateful work).
+  Status PushBatch(const std::string& source, std::span<const Tuple> tuples);
+
   // --- observability -----------------------------------------------------------
   bool started() const { return executor_ != nullptr; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
@@ -69,6 +79,9 @@ class StreamEngine {
 
  private:
   class HandlerSink;
+
+  // Stream id of a registered source, or NotFound / not-started errors.
+  Result<StreamId> FindSourceId(const std::string& source) const;
 
   OptimizerOptions options_;
   Catalog catalog_;

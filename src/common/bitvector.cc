@@ -5,49 +5,61 @@
 namespace rumor {
 
 bool BitVector::Any() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return true;
+  const uint64_t* w = words();
+  for (int i = 0; i < num_words(); ++i) {
+    if (w[i] != 0) return true;
   }
   return false;
 }
 
 int BitVector::Count() const {
+  const uint64_t* w = words();
   int n = 0;
-  for (uint64_t w : words_) n += __builtin_popcountll(w);
+  for (int i = 0; i < num_words(); ++i) n += __builtin_popcountll(w[i]);
   return n;
 }
 
 bool BitVector::Contains(const BitVector& other) const {
   RUMOR_DCHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((other.words_[i] & ~words_[i]) != 0) return false;
+  const uint64_t* a = words();
+  const uint64_t* b = other.words();
+  for (int i = 0; i < num_words(); ++i) {
+    if ((b[i] & ~a[i]) != 0) return false;
   }
   return true;
 }
 
 bool BitVector::Intersects(const BitVector& other) const {
   RUMOR_DCHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
+  const uint64_t* a = words();
+  const uint64_t* b = other.words();
+  for (int i = 0; i < num_words(); ++i) {
+    if ((a[i] & b[i]) != 0) return true;
   }
   return false;
 }
 
 BitVector& BitVector::operator&=(const BitVector& other) {
   RUMOR_DCHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  uint64_t* a = words();
+  const uint64_t* b = other.words();
+  for (int i = 0; i < num_words(); ++i) a[i] &= b[i];
   return *this;
 }
 
 BitVector& BitVector::operator|=(const BitVector& other) {
   RUMOR_DCHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  uint64_t* a = words();
+  const uint64_t* b = other.words();
+  for (int i = 0; i < num_words(); ++i) a[i] |= b[i];
   return *this;
 }
 
 BitVector& BitVector::Subtract(const BitVector& other) {
   RUMOR_DCHECK(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  uint64_t* a = words();
+  const uint64_t* b = other.words();
+  for (int i = 0; i < num_words(); ++i) a[i] &= ~b[i];
   return *this;
 }
 
@@ -60,7 +72,8 @@ std::vector<int> BitVector::ToIndexes() const {
 
 uint64_t BitVector::Hash() const {
   uint64_t h = Mix64(static_cast<uint64_t>(size_));
-  for (uint64_t w : words_) h = HashCombine(h, w);
+  const uint64_t* w = words();
+  for (int i = 0; i < num_words(); ++i) h = HashCombine(h, w[i]);
   return h;
 }
 

@@ -1,5 +1,10 @@
 // BitVector: dynamic bitset used for channel membership components (paper
 // §3.1: "the membership component is implemented by a bit vector").
+//
+// Memberships are overwhelmingly small (capacity-1 channels everywhere a
+// plain stream flows), and every ChannelTuple hop copies one — so vectors of
+// up to 64 bits are stored inline with no heap allocation; larger vectors
+// spill to a heap array.
 #ifndef RUMOR_COMMON_BITVECTOR_H_
 #define RUMOR_COMMON_BITVECTOR_H_
 
@@ -16,7 +21,9 @@ class BitVector {
  public:
   BitVector() = default;
   // All-zero vector with `size` addressable bits.
-  explicit BitVector(int size) : size_(size), words_((size + 63) / 64, 0) {}
+  explicit BitVector(int size) : size_(size) {
+    if (size_ > 64) heap_.assign(num_words(), 0);
+  }
 
   // Vector with exactly bit `index` set, sized to hold it.
   static BitVector Singleton(int index, int size) {
@@ -27,9 +34,8 @@ class BitVector {
   // All-ones vector of `size` bits.
   static BitVector AllOnes(int size) {
     BitVector bv(size);
-    for (int w = 0; w < static_cast<int>(bv.words_.size()); ++w) {
-      bv.words_[w] = ~0ull;
-    }
+    uint64_t* w = bv.words();
+    for (int i = 0; i < bv.num_words(); ++i) w[i] = ~0ull;
     bv.ClearPadding();
     return bv;
   }
@@ -39,15 +45,15 @@ class BitVector {
 
   void Set(int i) {
     RUMOR_DCHECK(i >= 0 && i < size_);
-    words_[i >> 6] |= 1ull << (i & 63);
+    words()[i >> 6] |= 1ull << (i & 63);
   }
   void Reset(int i) {
     RUMOR_DCHECK(i >= 0 && i < size_);
-    words_[i >> 6] &= ~(1ull << (i & 63));
+    words()[i >> 6] &= ~(1ull << (i & 63));
   }
   bool Test(int i) const {
     RUMOR_DCHECK(i >= 0 && i < size_);
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    return (words()[i >> 6] >> (i & 63)) & 1;
   }
 
   // True if any bit is set.
@@ -79,11 +85,12 @@ class BitVector {
   // Calls `fn(index)` for every set bit in ascending order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
-      uint64_t bits = words_[w];
+    const uint64_t* w = words();
+    for (int i = 0; i < num_words(); ++i) {
+      uint64_t bits = w[i];
       while (bits) {
         int bit = __builtin_ctzll(bits);
-        fn(static_cast<int>(w * 64 + bit));
+        fn(i * 64 + bit);
         bits &= bits - 1;
       }
     }
@@ -93,7 +100,13 @@ class BitVector {
   std::vector<int> ToIndexes() const;
 
   bool operator==(const BitVector& other) const {
-    return size_ == other.size_ && words_ == other.words_;
+    if (size_ != other.size_) return false;
+    const uint64_t* a = words();
+    const uint64_t* b = other.words();
+    for (int i = 0; i < num_words(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
   }
   bool operator!=(const BitVector& other) const { return !(*this == other); }
 
@@ -105,15 +118,22 @@ class BitVector {
   std::string ToString() const;
 
  private:
+  int num_words() const { return (size_ + 63) >> 6; }
+  uint64_t* words() { return size_ <= 64 ? &inline_word_ : heap_.data(); }
+  const uint64_t* words() const {
+    return size_ <= 64 ? &inline_word_ : heap_.data();
+  }
+
   void ClearPadding() {
     int tail = size_ & 63;
-    if (tail != 0 && !words_.empty()) {
-      words_.back() &= (1ull << tail) - 1;
+    if (tail != 0 && num_words() > 0) {
+      words()[num_words() - 1] &= (1ull << tail) - 1;
     }
   }
 
   int size_ = 0;
-  std::vector<uint64_t> words_;
+  uint64_t inline_word_ = 0;       // storage when size_ <= 64
+  std::vector<uint64_t> heap_;     // storage when size_ > 64
 };
 
 }  // namespace rumor

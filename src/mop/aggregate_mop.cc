@@ -59,7 +59,23 @@ void AggregateMop::Process(int input_port, const ChannelTuple& ct,
                            Emitter& out) {
   RUMOR_DCHECK(input_port == 0);
   (void)input_port;
-  auto emit = [&](int member, Tuple result) {
+  ProcessOne(ct, [&](int member, Tuple result) {
+    if (mode_ == OutputMode::kChannel) {
+      out.Emit(0, ChannelTuple{std::move(result),
+                               BitVector::Singleton(member, num_members())});
+    } else {
+      out.Emit(member,
+               ChannelTuple{std::move(result), BitVector::Singleton(0, 1)});
+    }
+    CountOut();
+  });
+}
+
+void AggregateMop::ProcessBatch(int input_port, const ChannelTuple* tuples,
+                                size_t n, Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  const std::function<void(int, Tuple)> emit = [&](int member, Tuple result) {
     if (mode_ == OutputMode::kChannel) {
       out.Emit(0, ChannelTuple{std::move(result),
                                BitVector::Singleton(member, num_members())});
@@ -69,7 +85,11 @@ void AggregateMop::Process(int input_port, const ChannelTuple& ct,
     }
     CountOut();
   };
+  for (size_t i = 0; i < n; ++i) ProcessOne(tuples[i], emit);
+}
 
+template <typename EmitFn>
+void AggregateMop::ProcessOne(const ChannelTuple& ct, const EmitFn& emit) {
   if (sharing_ == Sharing::kIsolated) {
     for (int i = 0; i < num_members(); ++i) {
       if (!ct.membership.Test(members_[i].input_slot)) continue;

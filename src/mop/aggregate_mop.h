@@ -49,9 +49,19 @@ class AggregateMop : public Mop {
 
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
+  // Batched path: type-erases the emission closure once per batch instead
+  // of once per tuple (the engines themselves are inherently per-tuple —
+  // every input advances expiry cursors and emits updated aggregates).
+  void ProcessBatch(int input_port, const ChannelTuple* tuples, size_t n,
+                    Emitter& out) override;
 
  private:
   static MopType TypeFor(Sharing sharing);
+
+  // `emit` is any (int member, Tuple result) callable; a std::function
+  // lvalue passes through to the engines without re-wrapping.
+  template <typename EmitFn>
+  void ProcessOne(const ChannelTuple& tuple, const EmitFn& emit);
 
   std::vector<Member> members_;
   Sharing sharing_;

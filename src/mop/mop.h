@@ -80,13 +80,23 @@ class Mop {
   virtual void Process(int input_port, const ChannelTuple& tuple,
                        Emitter& out) = 0;
 
+  // Processes a run of consecutive tuples arriving on `input_port`. Must
+  // update state and emit exactly as calling Process on each tuple in
+  // order would; the default does exactly that. Overrides may amortize
+  // per-tuple setup (the batched executor path calls this once per m-op
+  // per batch).
+  virtual void ProcessBatch(int input_port, const ChannelTuple* tuples,
+                            size_t n, Emitter& out) {
+    for (size_t i = 0; i < n; ++i) Process(input_port, tuples[i], out);
+  }
+
   // Short display name, e.g. "σ{1,2}" or "µ[3]".
   virtual std::string name() const;
 
   // --- lightweight metrics (maintained by the executor) --------------------
   int64_t tuples_in() const { return tuples_in_; }
   int64_t tuples_out() const { return tuples_out_; }
-  void CountIn() { ++tuples_in_; }
+  void CountIn(int64_t n = 1) { tuples_in_ += n; }
   void CountOut(int64_t n = 1) { tuples_out_ += n; }
 
  protected:

@@ -10,8 +10,22 @@ uint64_t AggMemberSpec::Signature() const {
   return h;
 }
 
+namespace {
+MinMaxImpl g_default_min_max_impl = MinMaxImpl::kTwoStacks;
+}  // namespace
+
+void SharedAggEngine::SetDefaultMinMaxImpl(MinMaxImpl impl) {
+  g_default_min_max_impl = impl;
+}
+
+MinMaxImpl SharedAggEngine::default_min_max_impl() {
+  return g_default_min_max_impl;
+}
+
 SharedAggEngine::SharedAggEngine(std::vector<AggMemberSpec> members)
-    : members_(std::move(members)), states_(members_.size()) {
+    : members_(std::move(members)),
+      states_(members_.size()),
+      impl_(g_default_min_max_impl) {
   RUMOR_CHECK(!members_.empty());
   for (const AggMemberSpec& m : members_) {
     RUMOR_CHECK(m.fn == members_[0].fn && m.attr == members_[0].attr)
@@ -20,6 +34,7 @@ SharedAggEngine::SharedAggEngine(std::vector<AggMemberSpec> members)
     max_window_ = std::max(max_window_, m.window);
     if (m.fn == AggFn::kMin || m.fn == AggFn::kMax) need_ordered_ = true;
   }
+  is_min_ = members_[0].fn == AggFn::kMin;
 }
 
 void SharedAggEngine::Apply(int member, const Entry& e, int sign) {
@@ -33,14 +48,30 @@ void SharedAggEngine::Apply(int member, const Entry& e, int sign) {
     } else {
       g.dsum += sign * e.value.ToNumeric();
       g.double_count += sign;
+      // Drop the accumulated floating-point residue once no double entry is
+      // left in the window, so the sum reverts to the exact integer form
+      // instead of drifting (and staying double) forever.
+      if (g.double_count == 0) g.dsum = 0.0;
     }
     if (need_ordered_) {
-      if (sign > 0) {
-        g.ordered.insert(e.value);
+      // Per (member, group), entries enter and leave in timestamp order
+      // (insertions append to the shared log; the expiry cursor walks it
+      // front to back) — a FIFO discipline, which is what lets the
+      // two-stacks scheme replace the ordered multiset.
+      if (impl_ == MinMaxImpl::kTwoStacks) {
+        if (sign > 0) {
+          g.extrema.Push(e.value, is_min_);
+        } else {
+          g.extrema.PopFront(e.value, is_min_);
+        }
       } else {
-        auto it = g.ordered.find(e.value);
-        RUMOR_DCHECK(it != g.ordered.end());
-        if (it != g.ordered.end()) g.ordered.erase(it);
+        if (sign > 0) {
+          g.ordered.insert(e.value);
+        } else {
+          auto it = g.ordered.find(e.value);
+          RUMOR_DCHECK(it != g.ordered.end());
+          if (it != g.ordered.end()) g.ordered.erase(it);
+        }
       }
     }
   }
@@ -58,11 +89,13 @@ Value SharedAggEngine::Extract(const GroupState& g) const {
       return Value((g.dsum + static_cast<double>(g.isum)) /
                    static_cast<double>(g.count));
     case AggFn::kMin:
-      if (g.ordered.empty()) return Value();
-      return *g.ordered.begin();
     case AggFn::kMax:
+      if (impl_ == MinMaxImpl::kTwoStacks) {
+        if (g.extrema.empty()) return Value();
+        return g.extrema.Best(is_min_);
+      }
       if (g.ordered.empty()) return Value();
-      return *g.ordered.rbegin();
+      return is_min_ ? *g.ordered.begin() : *g.ordered.rbegin();
   }
   return Value();
 }

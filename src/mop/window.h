@@ -138,6 +138,75 @@ class KeyedBuffer {
   std::unordered_map<Value, std::vector<int64_t>> index_;
 };
 
+// --- two-stacks window extrema ----------------------------------------------
+
+// Incremental MIN/MAX over a FIFO window, the two-stacks scheme of
+// HammerSlide [Theodorakis 18] / SlideSide [Theodorakis 20]: values enter at
+// the back and leave at the front in insertion order; each stack element
+// caches the extremum of everything beneath it, so Push, PopFront, and Best
+// are amortized O(1) with no per-element allocation (vs O(log n) node
+// allocations for an ordered multiset, or O(window) recompute).
+//
+// The comparison direction is passed per call (the owning engine's aggregate
+// function is fixed), which keeps this default-constructible inside
+// hash-map-stored group states.
+class TwoStacksExtrema {
+ public:
+  void Push(const Value& v, bool min) {
+    back_.push_back(Item{v, back_.empty() ? v : Pick(v, back_.back().best,
+                                                     min)});
+  }
+
+  // Removes the oldest value; `v` must equal it (FIFO discipline check).
+  void PopFront(const Value& v, bool min) {
+    if (front_.empty()) Flip(min);
+    RUMOR_DCHECK(!front_.empty());
+    RUMOR_DCHECK(front_.back().value == v) << "two-stacks eviction order";
+    (void)v;
+    front_.pop_back();
+  }
+
+  bool empty() const { return front_.empty() && back_.empty(); }
+  size_t size() const { return front_.size() + back_.size(); }
+
+  // Extremum of the whole window; CHECK-fails when empty.
+  Value Best(bool min) const {
+    RUMOR_DCHECK(!empty());
+    if (front_.empty()) return back_.back().best;
+    if (back_.empty()) return front_.back().best;
+    return Pick(front_.back().best, back_.back().best, min);
+  }
+
+ private:
+  struct Item {
+    Value value;
+    Value best;  // extremum of this item and everything beneath it
+  };
+
+  static const Value& Pick(const Value& a, const Value& b, bool min) {
+    return (min ? a < b : b < a) ? a : b;
+  }
+
+  // Moves the back stack onto the front stack (reversing order) and rebuilds
+  // the cached extrema; each element is flipped at most once per lifetime.
+  void Flip(bool min) {
+    while (!back_.empty()) {
+      Value v = std::move(back_.back().value);
+      back_.pop_back();
+      front_.push_back(Item{v, front_.empty() ? v : Pick(v, front_.back().best,
+                                                         min)});
+    }
+  }
+
+  std::vector<Item> front_;  // leaves from the top (oldest at the top)
+  std::vector<Item> back_;   // enters at the top (newest at the top)
+};
+
+// MIN/MAX maintenance implementation used by new SharedAggEngine instances;
+// kOrderedSet is the legacy std::multiset path, kept for ablation benchmarks
+// and cross-checking tests.
+enum class MinMaxImpl : uint8_t { kTwoStacks, kOrderedSet };
+
 // --- shared aggregation -------------------------------------------------------
 
 // Per-member aggregate specification. All members of one engine must share
@@ -155,6 +224,13 @@ struct AggMemberSpec {
 class SharedAggEngine {
  public:
   explicit SharedAggEngine(std::vector<AggMemberSpec> members);
+
+  // Process-wide default MIN/MAX implementation, captured by each engine at
+  // construction (ablation benchmarks and cross-checking tests flip it;
+  // production code leaves the kTwoStacks default).
+  static void SetDefaultMinMaxImpl(MinMaxImpl impl);
+  static MinMaxImpl default_min_max_impl();
+  MinMaxImpl min_max_impl() const { return impl_; }
 
   // Processes tuple `t` on behalf of the members in `membership` (size =
   // #members). For each such member, updates its state and calls
@@ -185,7 +261,9 @@ class SharedAggEngine {
     int64_t isum = 0;
     double dsum = 0.0;
     int64_t double_count = 0;
-    std::multiset<Value> ordered;  // engaged for MIN/MAX only
+    // MIN/MAX state — exactly one engaged, per the engine's min_max_impl().
+    TwoStacksExtrema extrema;
+    std::multiset<Value> ordered;
   };
 
   struct MemberState {
@@ -202,6 +280,8 @@ class SharedAggEngine {
   int64_t base_ = 0;
   int64_t max_window_ = 0;
   bool need_ordered_ = false;  // MIN/MAX
+  bool is_min_ = false;        // kMin vs kMax (meaningful when need_ordered_)
+  MinMaxImpl impl_ = MinMaxImpl::kTwoStacks;
 };
 
 }  // namespace rumor

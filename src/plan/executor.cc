@@ -1,9 +1,14 @@
 #include "plan/executor.h"
 
+#include <deque>
+
 namespace rumor {
 
 // Adapter handing an m-op's emissions back to the executor with the emitting
-// m-op's identity attached.
+// m-op's identity attached. Emissions are staged in emit_scratch_ and pushed
+// onto the work stack in reverse once the m-op returns, so the first
+// emission's whole subtree runs before the second emission — the same order
+// the former recursive dispatch produced.
 class Executor::PortEmitter : public Emitter {
  public:
   PortEmitter(Executor* executor, MopId mop)
@@ -12,7 +17,42 @@ class Executor::PortEmitter : public Emitter {
   void Emit(int output_port, ChannelTuple tuple) override {
     ChannelId channel = executor_->plan_->output_channel(mop_, output_port);
     RUMOR_DCHECK(channel != kInvalidChannel);
-    executor_->Dispatch(channel, tuple);
+    executor_->emit_scratch_.push_back(
+        Task{Task::kChannel, channel, ChannelEnd{}, std::move(tuple)});
+  }
+
+  // Moves the staged emissions onto the work stack (reversed, so LIFO pop
+  // order equals emission order).
+  void Flush() {
+    std::vector<Task>& stack = executor_->stack_;
+    std::vector<Task>& scratch = executor_->emit_scratch_;
+    for (size_t i = scratch.size(); i > 0; --i) {
+      stack.push_back(std::move(scratch[i - 1]));
+    }
+    scratch.clear();
+  }
+
+ private:
+  Executor* executor_;
+  MopId mop_;
+};
+
+// Collects a whole batch's emissions into the executor's per-channel batch
+// buffers (which retain capacity across batches — the steady state of the
+// batched path allocates nothing beyond tuple payloads). Channels receiving
+// their first tuple are recorded in touched_channels_ so RunBatch knows
+// what to propagate next.
+class Executor::BatchEmitter : public Emitter {
+ public:
+  BatchEmitter(Executor* executor, MopId mop)
+      : executor_(executor), mop_(mop) {}
+
+  void Emit(int output_port, ChannelTuple tuple) override {
+    ChannelId channel = executor_->plan_->output_channel(mop_, output_port);
+    RUMOR_DCHECK(channel != kInvalidChannel);
+    std::vector<ChannelTuple>& buffer = executor_->channel_buffers_[channel];
+    if (buffer.empty()) executor_->touched_channels_.push_back(channel);
+    buffer.push_back(std::move(tuple));
   }
 
  private:
@@ -45,7 +85,43 @@ void Executor::Prepare() {
   for (StreamId s = 0; s < plan_->streams().size(); ++s) {
     if (auto c = plan_->FindSourceChannel(s)) source_route_[s] = *c;
   }
+  batch_safe_.assign(plan_->num_channels(), -1);
+  channel_buffers_.assign(plan_->num_channels(), {});
   prepared_ = true;
+}
+
+bool Executor::BatchSafe(ChannelId channel) {
+  RUMOR_DCHECK(prepared_) << "call Prepare() first";
+  RUMOR_DCHECK(channel >= 0 && channel < plan_->num_channels());
+  if (batch_safe_[channel] >= 0) return batch_safe_[channel] != 0;
+  // BFS over the consumer graph, counting distinct reachable input ports
+  // per m-op. Two reachable ports on one m-op means a batch would deliver
+  // all of one port before the other, diverging from per-tuple order.
+  std::vector<bool> seen_channel(plan_->num_channels(), false);
+  std::unordered_map<MopId, int> first_port;
+  std::deque<ChannelId> queue{channel};
+  seen_channel[channel] = true;
+  bool safe = true;
+  while (!queue.empty() && safe) {
+    ChannelId c = queue.front();
+    queue.pop_front();
+    for (const ChannelEnd& end : routes_[c].consumers) {
+      auto [it, inserted] = first_port.insert({end.mop, end.port});
+      if (!inserted && it->second != end.port) {
+        safe = false;
+        break;
+      }
+      if (!inserted) continue;  // mop already expanded via this port
+      for (ChannelId out : plan_->output_channels(end.mop)) {
+        if (out != kInvalidChannel && !seen_channel[out]) {
+          seen_channel[out] = true;
+          queue.push_back(out);
+        }
+      }
+    }
+  }
+  batch_safe_[channel] = safe ? 1 : 0;
+  return safe;
 }
 
 void Executor::PushChannel(ChannelId channel, const ChannelTuple& tuple) {
@@ -62,20 +138,138 @@ void Executor::PushSource(StreamId stream, const Tuple& tuple) {
   Dispatch(channel, ChannelTuple{tuple, BitVector::Singleton(0, 1)});
 }
 
-void Executor::Dispatch(ChannelId channel, const ChannelTuple& tuple) {
-  const Route& route = routes_[channel];
-  if (sink_ != nullptr) {
-    for (const auto& [slot, stream] : route.output_slots) {
-      if (tuple.membership.Test(slot)) sink_->OnOutput(stream, tuple.tuple);
+void Executor::PushSourceBatch(StreamId stream,
+                               std::span<const Tuple> tuples) {
+  RUMOR_DCHECK(prepared_) << "call Prepare() first";
+  if (tuples.empty()) return;
+  ChannelId channel = source_route_[stream];
+  RUMOR_CHECK(channel != kInvalidChannel)
+      << "stream " << stream << " is not a wired source";
+  // Re-entrant batch pushes (from a sink handler mid-drain or mid-batch)
+  // take the per-tuple path, whose deferral keeps timestamp order intact.
+  if (tuples.size() == 1 || in_run_batch_ || draining_ ||
+      !BatchSafe(channel)) {
+    for (const Tuple& t : tuples) PushSource(stream, t);
+    return;
+  }
+  std::vector<ChannelTuple>& root = channel_buffers_[channel];
+  root.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    root.push_back(ChannelTuple{t, BitVector::Singleton(0, 1)});
+  }
+  RunBatch(channel);
+}
+
+void Executor::PushChannelBatch(ChannelId channel,
+                                std::span<const ChannelTuple> tuples) {
+  RUMOR_DCHECK(prepared_) << "call Prepare() first";
+  RUMOR_DCHECK(channel >= 0 && channel < plan_->num_channels());
+  if (tuples.empty()) return;
+  if (tuples.size() == 1 || in_run_batch_ || draining_ ||
+      !BatchSafe(channel)) {
+    for (const ChannelTuple& t : tuples) PushChannel(channel, t);
+    return;
+  }
+  std::vector<ChannelTuple>& root = channel_buffers_[channel];
+  root.assign(tuples.begin(), tuples.end());
+  RunBatch(channel);
+}
+
+void Executor::DeliverOutputs(const Route& route, const ChannelTuple& tuple) {
+  if (sink_ == nullptr) return;
+  for (const auto& [slot, stream] : route.output_slots) {
+    if (tuple.membership.Test(slot)) sink_->OnOutput(stream, tuple.tuple);
+  }
+}
+
+void Executor::Dispatch(ChannelId channel, ChannelTuple tuple) {
+  // A sink handler may push back into the executor mid-drain or mid-batch.
+  // Such re-entrant tuples carry later timestamps than work still in
+  // flight, so running them immediately would corrupt window state; they
+  // are deferred (in submission order) until the current cascade — the
+  // in-flight tuple's full propagation, or the whole batch — completes.
+  if (in_run_batch_ || draining_) {
+    deferred_.push_back(Task{Task::kChannel, channel, ChannelEnd{},
+                             std::move(tuple)});
+    return;
+  }
+  stack_.push_back(Task{Task::kChannel, channel, ChannelEnd{},
+                        std::move(tuple)});
+  Drain();
+}
+
+void Executor::Drain() {
+  draining_ = true;
+  while (!stack_.empty() || !deferred_.empty()) {
+    if (stack_.empty()) {
+      // Reversed onto the LIFO stack so deferred tuples pop FIFO, each
+      // subtree completing before the next deferred tuple starts.
+      for (size_t i = deferred_.size(); i > 0; --i) {
+        stack_.push_back(std::move(deferred_[i - 1]));
+      }
+      deferred_.clear();
+    }
+    Task task = std::move(stack_.back());
+    stack_.pop_back();
+    if (task.kind == Task::kChannel) {
+      const Route& route = routes_[task.channel];
+      DeliverOutputs(route, task.tuple);
+      // Reverse order: LIFO pop then visits consumers first-to-last, each
+      // consumer's emissions fully propagating before the next consumer.
+      for (size_t i = route.consumers.size(); i > 0; --i) {
+        stack_.push_back(Task{Task::kDeliver, kInvalidChannel,
+                              route.consumers[i - 1],
+                              i == 1 ? std::move(task.tuple) : task.tuple});
+      }
+    } else {
+      ++deliveries_;
+      Mop& mop = plan_->mop(task.end.mop);
+      mop.CountIn();
+      PortEmitter emitter(this, task.end.mop);
+      mop.Process(task.end.port, task.tuple, emitter);
+      emitter.Flush();
     }
   }
-  for (const ChannelEnd& end : route.consumers) {
-    ++deliveries_;
-    Mop& mop = plan_->mop(end.mop);
-    mop.CountIn();
-    PortEmitter emitter(this, end.mop);
-    mop.Process(end.port, tuple, emitter);
+  draining_ = false;
+}
+
+void Executor::RunBatch(ChannelId root) {
+  // Each channel has a single producer, and on a batch-safe subgraph every
+  // m-op is reached through exactly one input port — so each channel's
+  // complete batch is available the moment its producer has run, and a
+  // simple stack visits every channel exactly once, in topological order.
+  // Callers stage the root batch in channel_buffers_[root].
+  in_run_batch_ = true;
+  batch_stack_.push_back(root);
+  while (!batch_stack_.empty()) {
+    ChannelId channel = batch_stack_.back();
+    batch_stack_.pop_back();
+    // Stable while consumers run: the consumer graph is acyclic and every
+    // channel is visited once, so emissions never target `buffer`.
+    std::vector<ChannelTuple>& buffer = channel_buffers_[channel];
+    const Route& route = routes_[channel];
+    if (!route.output_slots.empty()) {
+      for (const ChannelTuple& t : buffer) DeliverOutputs(route, t);
+    }
+    for (const ChannelEnd& end : route.consumers) {
+      const int64_t n = static_cast<int64_t>(buffer.size());
+      deliveries_ += n;
+      Mop& mop = plan_->mop(end.mop);
+      mop.CountIn(n);
+      BatchEmitter emitter(this, end.mop);
+      mop.ProcessBatch(end.port, buffer.data(), buffer.size(), emitter);
+      while (!touched_channels_.empty()) {
+        batch_stack_.push_back(touched_channels_.back());
+        touched_channels_.pop_back();
+      }
+    }
+    buffer.clear();  // keeps capacity for the next batch
   }
+  in_run_batch_ = false;
+  // Tuples a sink handler pushed mid-batch were deferred; run them now.
+  // (RunBatch never executes under an active Drain — batch pushes arriving
+  // mid-drain fall back to the per-tuple path, which defers.)
+  if (!deferred_.empty()) Drain();
 }
 
 }  // namespace rumor

@@ -1,10 +1,25 @@
-// Push-based, event-at-a-time executor. Source tuples are pushed in
-// timestamp order; emitted channel tuples propagate depth-first through the
-// (acyclic) consumer graph. Streams marked as query outputs are delivered to
-// an OutputSink.
+// Push-based executor. Source tuples are pushed in timestamp order; emitted
+// channel tuples propagate through the (acyclic) consumer graph in
+// depth-first order, driven by an explicit work stack (no recursion, so
+// arbitrarily deep merged-plan chains cannot overflow the call stack).
+// Streams marked as query outputs are delivered to an OutputSink.
+//
+// Two data-movement modes:
+//  * event-at-a-time — PushSource / PushChannel, one tuple per call;
+//  * batched — PushSourceBatch / PushChannelBatch, a run of consecutive
+//    same-origin tuples per call. The batch traverses each m-op once via
+//    per-channel batch buffers (Mop::ProcessBatch), amortizing routing and
+//    dispatch overhead. Batching is applied only when it provably preserves
+//    per-tuple semantics (see BatchSafe below); otherwise the batch call
+//    transparently falls back to the per-tuple path. Either way, every
+//    m-op sees the same delivery sequence and every output stream receives
+//    the same tuples in the same order as per-tuple pushes; only the
+//    *interleaving across different output streams* may differ (a batch
+//    delivers a channel's outputs before downstream channels').
 #ifndef RUMOR_PLAN_EXECUTOR_H_
 #define RUMOR_PLAN_EXECUTOR_H_
 
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +91,24 @@ class Executor {
   // channels; paper §5.2 Workload 3 feeds channel C directly).
   void PushChannel(ChannelId channel, const ChannelTuple& tuple);
 
+  // Pushes a run of consecutive tuples of one source stream. Semantically
+  // equivalent to calling PushSource for each tuple in order — the tuples
+  // must be consecutive in the global event order (no events of other
+  // sources in between) and have non-decreasing timestamps.
+  void PushSourceBatch(StreamId stream, std::span<const Tuple> tuples);
+
+  // Batched variant of PushChannel under the same contract.
+  void PushChannelBatch(ChannelId channel,
+                        std::span<const ChannelTuple> tuples);
+
+  // True if batches rooted at `channel` take the per-channel batch-buffer
+  // path. A root is batch-safe iff no m-op has two or more *input ports*
+  // reachable from it: for such m-ops a batch would reorder deliveries
+  // across ports (all of port A before port B) relative to the per-tuple
+  // interleaving, which can change stateful results. Single-input chains —
+  // selections, projections, aggregations — are always safe.
+  bool BatchSafe(ChannelId channel);
+
   // Tuples delivered to m-op inputs so far (scheduling work measure).
   int64_t deliveries() const { return deliveries_; }
 
@@ -86,16 +119,53 @@ class Executor {
     std::vector<std::pair<int, StreamId>> output_slots;
   };
 
-  class PortEmitter;
+  // One unit of event-at-a-time work, emulating the former recursion
+  // exactly: a kChannel task fans a tuple out to the sink and its channel's
+  // consumers; a kDeliver task runs one m-op on it and stages the
+  // emissions. LIFO order reproduces depth-first traversal.
+  struct Task {
+    enum Kind : uint8_t { kChannel, kDeliver } kind;
+    ChannelId channel;  // kChannel: target channel; kDeliver: unused
+    ChannelEnd end;     // kDeliver: target (mop, port)
+    ChannelTuple tuple;
+  };
 
-  void Dispatch(ChannelId channel, const ChannelTuple& tuple);
+  class PortEmitter;
+  class BatchEmitter;
+
+  // Pushes a kChannel task and, unless a drain is already running higher up
+  // the call stack, drains the work stack.
+  void Dispatch(ChannelId channel, ChannelTuple tuple);
+  void Drain();
+
+  // Per-channel batch-buffer propagation; the caller stages the root batch
+  // in channel_buffers_[root] (root must be batch-safe).
+  void RunBatch(ChannelId root);
+  void DeliverOutputs(const Route& route, const ChannelTuple& tuple);
 
   Plan* plan_;
   OutputSink* sink_;
   bool prepared_ = false;
   std::vector<Route> routes_;            // by channel id
   std::vector<ChannelId> source_route_;  // by stream id (source streams)
+  std::vector<int8_t> batch_safe_;       // by channel id; -1 = not computed
   int64_t deliveries_ = 0;
+
+  // Event-at-a-time work stack (member, so buffers are reused across
+  // pushes). `draining_` guards against re-entrant drains.
+  std::vector<Task> stack_;
+  std::vector<Task> emit_scratch_;  // one m-op's staged emissions
+  bool draining_ = false;
+
+  // Batched-path state, all capacity-retaining across batches. A channel's
+  // buffer holds its current batch from the moment its producer emits until
+  // its own RunBatch visit completes. `in_run_batch_` routes re-entrant
+  // batch pushes (e.g. from a sink handler) to the per-tuple path.
+  std::vector<std::vector<ChannelTuple>> channel_buffers_;
+  std::vector<ChannelId> touched_channels_;
+  std::vector<ChannelId> batch_stack_;
+  std::vector<Task> deferred_;  // re-entrant pushes arriving mid-batch
+  bool in_run_batch_ = false;
 };
 
 }  // namespace rumor

@@ -2,10 +2,17 @@
 
 namespace rumor {
 
-RumorRun RunRumor(const std::vector<Query>& queries,
-                  const OptimizerOptions& options,
-                  const std::vector<Event>& events, int64_t warmup,
-                  const std::vector<std::string>& stream_names) {
+namespace {
+
+// Shared measurement scaffolding: compile + optimize, then push events
+// [0, warmup) untimed and [warmup, n) timed via `push_range(exec, streams,
+// from, to)` — the one thing the per-tuple and batched runners differ in.
+template <typename PushRange>
+RumorRun MeasureRumor(const std::vector<Query>& queries,
+                      const OptimizerOptions& options,
+                      const std::vector<Event>& events, int64_t warmup,
+                      const std::vector<std::string>& stream_names,
+                      const PushRange& push_range) {
   RumorRun run;
   Plan plan;
   auto compiled = CompileQueries(queries, &plan);
@@ -23,20 +30,59 @@ RumorRun RunRumor(const std::vector<Query>& queries,
     streams.push_back(*id);
   }
 
-  int64_t i = 0;
   const int64_t n = static_cast<int64_t>(events.size());
-  for (; i < warmup && i < n; ++i) {
-    exec.PushSource(streams[events[i].stream], events[i].tuple);
-  }
+  const int64_t measured_from = std::min(warmup, n);
+  push_range(exec, streams, int64_t{0}, measured_from);
   const int64_t outputs_before = sink.total();
   Stopwatch timer;
-  for (; i < n; ++i) {
-    exec.PushSource(streams[events[i].stream], events[i].tuple);
-  }
+  push_range(exec, streams, measured_from, n);
   run.result.seconds = timer.ElapsedSeconds();
-  run.result.events = n - warmup;
+  run.result.events = n - measured_from;
   run.result.outputs = sink.total() - outputs_before;
   return run;
+}
+
+}  // namespace
+
+RumorRun RunRumor(const std::vector<Query>& queries,
+                  const OptimizerOptions& options,
+                  const std::vector<Event>& events, int64_t warmup,
+                  const std::vector<std::string>& stream_names) {
+  return MeasureRumor(
+      queries, options, events, warmup, stream_names,
+      [&](Executor& exec, const std::vector<StreamId>& streams, int64_t from,
+          int64_t to) {
+        for (int64_t i = from; i < to; ++i) {
+          exec.PushSource(streams[events[i].stream], events[i].tuple);
+        }
+      });
+}
+
+RumorRun RunRumorBatched(const std::vector<Query>& queries,
+                         const OptimizerOptions& options,
+                         const std::vector<Event>& events, int64_t warmup,
+                         int64_t batch_size,
+                         const std::vector<std::string>& stream_names) {
+  RUMOR_CHECK(batch_size > 0);
+  std::vector<Tuple> batch;
+  batch.reserve(batch_size);
+  // Pushes maximal same-stream runs of <= batch_size tuples.
+  return MeasureRumor(
+      queries, options, events, warmup, stream_names,
+      [&](Executor& exec, const std::vector<StreamId>& streams, int64_t from,
+          int64_t to) {
+        int64_t i = from;
+        while (i < to) {
+          const int stream = events[i].stream;
+          batch.clear();
+          while (i < to && events[i].stream == stream &&
+                 static_cast<int64_t>(batch.size()) < batch_size) {
+            batch.push_back(events[i].tuple);
+            ++i;
+          }
+          exec.PushSourceBatch(streams[stream], batch);
+        }
+      });
 }
 
 CayugaRun RunCayuga(const std::vector<CayugaAutomaton>& automata,

@@ -30,6 +30,18 @@ RumorRun RunRumor(const std::vector<Query>& queries,
                   const std::vector<Event>& events, int64_t warmup,
                   const std::vector<std::string>& stream_names = {"S", "T"});
 
+// Batched variant: groups the event feed into maximal runs of consecutive
+// same-stream events (capped at `batch_size` tuples) and pushes each run via
+// Executor::PushSourceBatch. Semantically identical to RunRumor — run
+// boundaries preserve the global event order, and the executor falls back
+// to per-tuple dispatch where batching is unsafe. Note that a strictly
+// alternating S/T feed degenerates to runs of 1; batching pays off on feeds
+// with same-source bursts (or single-source workloads).
+RumorRun RunRumorBatched(
+    const std::vector<Query>& queries, const OptimizerOptions& options,
+    const std::vector<Event>& events, int64_t warmup, int64_t batch_size,
+    const std::vector<std::string>& stream_names = {"S", "T"});
+
 // Runs the Cayuga baseline over the same events.
 struct CayugaRun {
   ThroughputResult result;

@@ -243,5 +243,68 @@ TEST_P(FragmentAggPropertyTest, FragmentMatchesIsolated) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FragmentAggPropertyTest,
                          ::testing::Range<uint64_t>(0, 12));
 
+// Regression: a SUM window that has seen double entries must revert to the
+// integer representation once every double entry has expired — the double
+// tag (and any floating-point residue in the double accumulator) must not
+// outlive the entries that caused it.
+TEST(AggregateMopTest, SumRevertsToIntegerAfterDoublesExpire) {
+  AggregateMop mop({M(AggFn::kSum, 0, {}, 3)}, Sharing::kIsolated,
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::MakeInts({5}, 1)), out);
+  mop.Process(0, Plain(Tuple::Make({Value(2.5)}, 2)), out);
+  // Window (0,3]: {5, 2.5} -> double sum while the double entry is live.
+  ASSERT_EQ(out.port(0).size(), 2u);
+  EXPECT_EQ(out.port(0)[1].tuple.at(0).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(out.port(0)[1].tuple.at(0).AsDouble(), 7.5);
+  // ts 6: both earlier entries expired; only the new int is in-window.
+  mop.Process(0, Plain(Tuple::MakeInts({4}, 6)), out);
+  ASSERT_EQ(out.port(0).size(), 3u);
+  EXPECT_EQ(out.port(0)[2].tuple.at(0).type(), ValueType::kInt);
+  EXPECT_EQ(out.port(0)[2].tuple.at(0).AsInt(), 4);
+}
+
+// Regression: floating-point residue from expired double entries must not
+// contaminate later double sums (0.1 + 0.2 expiring leaves ~4e-17 in a
+// naive accumulator, turning a later exact 0.3 into 0.30000000000000004).
+TEST(AggregateMopTest, SumDoubleResidueDoesNotLeak) {
+  AggregateMop mop({M(AggFn::kSum, 0, {}, 2)}, Sharing::kIsolated,
+                   OutputMode::kPerMemberPorts);
+  CollectingEmitter out(1);
+  mop.Process(0, Plain(Tuple::Make({Value(0.1)}, 1)), out);
+  mop.Process(0, Plain(Tuple::Make({Value(0.2)}, 2)), out);
+  // ts 10: both expired. ts 11: a fresh double window holding only 0.3.
+  mop.Process(0, Plain(Tuple::MakeInts({0}, 10)), out);
+  mop.Process(0, Plain(Tuple::Make({Value(0.3)}, 11)), out);
+  ASSERT_EQ(out.port(0).size(), 4u);
+  EXPECT_EQ(out.port(0)[3].tuple.at(0).AsDouble(), 0.3);
+}
+
+// Unit coverage for the two-stacks extrema structure itself (FIFO windows
+// with arbitrary push/pop interleavings, both orderings).
+TEST(TwoStacksExtremaTest, MatchesNaiveWindowExtrema) {
+  for (bool min : {true, false}) {
+    Rng rng(min ? 11 : 12);
+    TwoStacksExtrema extrema;
+    std::vector<int64_t> window;
+    for (int step = 0; step < 2000; ++step) {
+      if (window.empty() || rng.UniformInt(0, 2) != 0) {
+        int64_t v = rng.UniformInt(0, 50);
+        extrema.Push(Value(v), min);
+        window.push_back(v);
+      } else {
+        extrema.PopFront(Value(window.front()), min);
+        window.erase(window.begin());
+      }
+      ASSERT_EQ(extrema.size(), window.size());
+      if (!window.empty()) {
+        int64_t expected = min ? *std::min_element(window.begin(), window.end())
+                               : *std::max_element(window.begin(), window.end());
+        ASSERT_EQ(extrema.Best(min).AsInt(), expected) << "step " << step;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rumor
