@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_mop_test.dir/tests/aggregate_mop_test.cc.o"
+  "CMakeFiles/aggregate_mop_test.dir/tests/aggregate_mop_test.cc.o.d"
+  "aggregate_mop_test"
+  "aggregate_mop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_mop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_agg_batch.dir/bench/bench_agg_batch.cc.o"
+  "CMakeFiles/bench_agg_batch.dir/bench/bench_agg_batch.cc.o.d"
+  "bench_agg_batch"
+  "bench_agg_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_agg_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

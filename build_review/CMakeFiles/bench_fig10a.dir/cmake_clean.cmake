@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a.dir/bench/bench_fig10a.cc.o"
+  "CMakeFiles/bench_fig10a.dir/bench/bench_fig10a.cc.o.d"
+  "bench_fig10a"
+  "bench_fig10a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

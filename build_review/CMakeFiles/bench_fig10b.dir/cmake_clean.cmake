@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b.dir/bench/bench_fig10b.cc.o"
+  "CMakeFiles/bench_fig10b.dir/bench/bench_fig10b.cc.o.d"
+  "bench_fig10b"
+  "bench_fig10b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

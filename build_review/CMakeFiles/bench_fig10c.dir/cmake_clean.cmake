@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c.dir/bench/bench_fig10c.cc.o"
+  "CMakeFiles/bench_fig10c.dir/bench/bench_fig10c.cc.o.d"
+  "bench_fig10c"
+  "bench_fig10c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10d.dir/bench/bench_fig10d.cc.o"
+  "CMakeFiles/bench_fig10d.dir/bench/bench_fig10d.cc.o.d"
+  "bench_fig10d"
+  "bench_fig10d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9d.dir/bench/bench_fig9d.cc.o"
+  "CMakeFiles/bench_fig9d.dir/bench/bench_fig9d.cc.o.d"
+  "bench_fig9d"
+  "bench_fig9d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

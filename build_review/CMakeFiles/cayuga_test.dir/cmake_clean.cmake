@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cayuga_test.dir/tests/cayuga_test.cc.o"
+  "CMakeFiles/cayuga_test.dir/tests/cayuga_test.cc.o.d"
+  "cayuga_test"
+  "cayuga_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cayuga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_chain_test.dir/tests/deep_chain_test.cc.o"
+  "CMakeFiles/deep_chain_test.dir/tests/deep_chain_test.cc.o.d"
+  "deep_chain_test"
+  "deep_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

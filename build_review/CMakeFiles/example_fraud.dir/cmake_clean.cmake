@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fraud.dir/examples/fraud.cpp.o"
+  "CMakeFiles/example_fraud.dir/examples/fraud.cpp.o.d"
+  "example_fraud"
+  "example_fraud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fraud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_perfmon.dir/examples/perfmon.cpp.o"
+  "CMakeFiles/example_perfmon.dir/examples/perfmon.cpp.o.d"
+  "example_perfmon"
+  "example_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

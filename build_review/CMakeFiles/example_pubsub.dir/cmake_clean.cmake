@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pubsub.dir/examples/pubsub.cpp.o"
+  "CMakeFiles/example_pubsub.dir/examples/pubsub.cpp.o.d"
+  "example_pubsub"
+  "example_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_topology_test.dir/tests/executor_topology_test.cc.o"
+  "CMakeFiles/executor_topology_test.dir/tests/executor_topology_test.cc.o.d"
+  "executor_topology_test"
+  "executor_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

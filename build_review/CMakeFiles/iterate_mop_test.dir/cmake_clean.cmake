@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterate_mop_test.dir/tests/iterate_mop_test.cc.o"
+  "CMakeFiles/iterate_mop_test.dir/tests/iterate_mop_test.cc.o.d"
+  "iterate_mop_test"
+  "iterate_mop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterate_mop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

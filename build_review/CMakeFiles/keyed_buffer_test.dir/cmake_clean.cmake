@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_buffer_test.dir/tests/keyed_buffer_test.cc.o"
+  "CMakeFiles/keyed_buffer_test.dir/tests/keyed_buffer_test.cc.o.d"
+  "keyed_buffer_test"
+  "keyed_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_executor_test.dir/tests/plan_executor_test.cc.o"
+  "CMakeFiles/plan_executor_test.dir/tests/plan_executor_test.cc.o.d"
+  "plan_executor_test"
+  "plan_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resubscription_test.dir/tests/resubscription_test.cc.o"
+  "CMakeFiles/resubscription_test.dir/tests/resubscription_test.cc.o.d"
+  "resubscription_test"
+  "resubscription_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resubscription_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

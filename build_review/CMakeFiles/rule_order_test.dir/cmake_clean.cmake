@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_order_test.dir/tests/rule_order_test.cc.o"
+  "CMakeFiles/rule_order_test.dir/tests/rule_order_test.cc.o.d"
+  "rule_order_test"
+  "rule_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/stream_engine.cc" "CMakeFiles/rumor.dir/src/api/stream_engine.cc.o" "gcc" "CMakeFiles/rumor.dir/src/api/stream_engine.cc.o.d"
+  "/root/repo/src/cayuga/automaton.cc" "CMakeFiles/rumor.dir/src/cayuga/automaton.cc.o" "gcc" "CMakeFiles/rumor.dir/src/cayuga/automaton.cc.o.d"
+  "/root/repo/src/cayuga/engine.cc" "CMakeFiles/rumor.dir/src/cayuga/engine.cc.o" "gcc" "CMakeFiles/rumor.dir/src/cayuga/engine.cc.o.d"
+  "/root/repo/src/cayuga/translator.cc" "CMakeFiles/rumor.dir/src/cayuga/translator.cc.o" "gcc" "CMakeFiles/rumor.dir/src/cayuga/translator.cc.o.d"
+  "/root/repo/src/common/bitvector.cc" "CMakeFiles/rumor.dir/src/common/bitvector.cc.o" "gcc" "CMakeFiles/rumor.dir/src/common/bitvector.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/rumor.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/rumor.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/schema.cc" "CMakeFiles/rumor.dir/src/common/schema.cc.o" "gcc" "CMakeFiles/rumor.dir/src/common/schema.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "CMakeFiles/rumor.dir/src/common/str_util.cc.o" "gcc" "CMakeFiles/rumor.dir/src/common/str_util.cc.o.d"
+  "/root/repo/src/common/tuple.cc" "CMakeFiles/rumor.dir/src/common/tuple.cc.o" "gcc" "CMakeFiles/rumor.dir/src/common/tuple.cc.o.d"
+  "/root/repo/src/common/value.cc" "CMakeFiles/rumor.dir/src/common/value.cc.o" "gcc" "CMakeFiles/rumor.dir/src/common/value.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "CMakeFiles/rumor.dir/src/expr/expr.cc.o" "gcc" "CMakeFiles/rumor.dir/src/expr/expr.cc.o.d"
+  "/root/repo/src/expr/parser_expr.cc" "CMakeFiles/rumor.dir/src/expr/parser_expr.cc.o" "gcc" "CMakeFiles/rumor.dir/src/expr/parser_expr.cc.o.d"
+  "/root/repo/src/expr/program.cc" "CMakeFiles/rumor.dir/src/expr/program.cc.o" "gcc" "CMakeFiles/rumor.dir/src/expr/program.cc.o.d"
+  "/root/repo/src/expr/schema_map.cc" "CMakeFiles/rumor.dir/src/expr/schema_map.cc.o" "gcc" "CMakeFiles/rumor.dir/src/expr/schema_map.cc.o.d"
+  "/root/repo/src/expr/shape.cc" "CMakeFiles/rumor.dir/src/expr/shape.cc.o" "gcc" "CMakeFiles/rumor.dir/src/expr/shape.cc.o.d"
+  "/root/repo/src/mop/aggregate_mop.cc" "CMakeFiles/rumor.dir/src/mop/aggregate_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/aggregate_mop.cc.o.d"
+  "/root/repo/src/mop/iterate_mop.cc" "CMakeFiles/rumor.dir/src/mop/iterate_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/iterate_mop.cc.o.d"
+  "/root/repo/src/mop/join_mop.cc" "CMakeFiles/rumor.dir/src/mop/join_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/join_mop.cc.o.d"
+  "/root/repo/src/mop/mop.cc" "CMakeFiles/rumor.dir/src/mop/mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/mop.cc.o.d"
+  "/root/repo/src/mop/predicate_index_mop.cc" "CMakeFiles/rumor.dir/src/mop/predicate_index_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/predicate_index_mop.cc.o.d"
+  "/root/repo/src/mop/projection_mop.cc" "CMakeFiles/rumor.dir/src/mop/projection_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/projection_mop.cc.o.d"
+  "/root/repo/src/mop/selection_mop.cc" "CMakeFiles/rumor.dir/src/mop/selection_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/selection_mop.cc.o.d"
+  "/root/repo/src/mop/sequence_mop.cc" "CMakeFiles/rumor.dir/src/mop/sequence_mop.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/sequence_mop.cc.o.d"
+  "/root/repo/src/mop/window.cc" "CMakeFiles/rumor.dir/src/mop/window.cc.o" "gcc" "CMakeFiles/rumor.dir/src/mop/window.cc.o.d"
+  "/root/repo/src/plan/compile.cc" "CMakeFiles/rumor.dir/src/plan/compile.cc.o" "gcc" "CMakeFiles/rumor.dir/src/plan/compile.cc.o.d"
+  "/root/repo/src/plan/executor.cc" "CMakeFiles/rumor.dir/src/plan/executor.cc.o" "gcc" "CMakeFiles/rumor.dir/src/plan/executor.cc.o.d"
+  "/root/repo/src/plan/explain.cc" "CMakeFiles/rumor.dir/src/plan/explain.cc.o" "gcc" "CMakeFiles/rumor.dir/src/plan/explain.cc.o.d"
+  "/root/repo/src/plan/metrics.cc" "CMakeFiles/rumor.dir/src/plan/metrics.cc.o" "gcc" "CMakeFiles/rumor.dir/src/plan/metrics.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "CMakeFiles/rumor.dir/src/plan/plan.cc.o" "gcc" "CMakeFiles/rumor.dir/src/plan/plan.cc.o.d"
+  "/root/repo/src/query/builder.cc" "CMakeFiles/rumor.dir/src/query/builder.cc.o" "gcc" "CMakeFiles/rumor.dir/src/query/builder.cc.o.d"
+  "/root/repo/src/query/parser.cc" "CMakeFiles/rumor.dir/src/query/parser.cc.o" "gcc" "CMakeFiles/rumor.dir/src/query/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "CMakeFiles/rumor.dir/src/query/query.cc.o" "gcc" "CMakeFiles/rumor.dir/src/query/query.cc.o.d"
+  "/root/repo/src/rules/channel_mapper.cc" "CMakeFiles/rumor.dir/src/rules/channel_mapper.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/channel_mapper.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "CMakeFiles/rumor.dir/src/rules/rule.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_engine.cc" "CMakeFiles/rumor.dir/src/rules/rule_engine.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/rule_engine.cc.o.d"
+  "/root/repo/src/rules/rules_agg.cc" "CMakeFiles/rumor.dir/src/rules/rules_agg.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/rules_agg.cc.o.d"
+  "/root/repo/src/rules/rules_join.cc" "CMakeFiles/rumor.dir/src/rules/rules_join.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/rules_join.cc.o.d"
+  "/root/repo/src/rules/rules_select.cc" "CMakeFiles/rumor.dir/src/rules/rules_select.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/rules_select.cc.o.d"
+  "/root/repo/src/rules/sharable.cc" "CMakeFiles/rumor.dir/src/rules/sharable.cc.o" "gcc" "CMakeFiles/rumor.dir/src/rules/sharable.cc.o.d"
+  "/root/repo/src/stream/channel.cc" "CMakeFiles/rumor.dir/src/stream/channel.cc.o" "gcc" "CMakeFiles/rumor.dir/src/stream/channel.cc.o.d"
+  "/root/repo/src/stream/stream.cc" "CMakeFiles/rumor.dir/src/stream/stream.cc.o" "gcc" "CMakeFiles/rumor.dir/src/stream/stream.cc.o.d"
+  "/root/repo/src/workload/harness.cc" "CMakeFiles/rumor.dir/src/workload/harness.cc.o" "gcc" "CMakeFiles/rumor.dir/src/workload/harness.cc.o.d"
+  "/root/repo/src/workload/perfmon.cc" "CMakeFiles/rumor.dir/src/workload/perfmon.cc.o" "gcc" "CMakeFiles/rumor.dir/src/workload/perfmon.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "CMakeFiles/rumor.dir/src/workload/synthetic.cc.o" "gcc" "CMakeFiles/rumor.dir/src/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "CMakeFiles/rumor.dir/src/workload/workloads.cc.o" "gcc" "CMakeFiles/rumor.dir/src/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

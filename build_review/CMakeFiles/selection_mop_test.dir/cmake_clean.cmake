@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_mop_test.dir/tests/selection_mop_test.cc.o"
+  "CMakeFiles/selection_mop_test.dir/tests/selection_mop_test.cc.o.d"
+  "selection_mop_test"
+  "selection_mop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_mop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_mop_test.dir/tests/sequence_mop_test.cc.o"
+  "CMakeFiles/sequence_mop_test.dir/tests/sequence_mop_test.cc.o.d"
+  "sequence_mop_test"
+  "sequence_mop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_mop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

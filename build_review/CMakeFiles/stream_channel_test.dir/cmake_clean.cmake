@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_channel_test.dir/tests/stream_channel_test.cc.o"
+  "CMakeFiles/stream_channel_test.dir/tests/stream_channel_test.cc.o.d"
+  "stream_channel_test"
+  "stream_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
