@@ -1,9 +1,11 @@
 #include "api/stream_engine.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/str_util.h"
 #include "plan/explain.h"
+#include "rules/incremental.h"
 
 namespace rumor {
 
@@ -13,6 +15,13 @@ class StreamEngine::HandlerSink : public OutputSink {
  public:
   void Bind(StreamId stream, std::string query_name) {
     routes_[stream].push_back(std::move(query_name));
+  }
+  // Stops routing to `query_name` (RemoveQuery); delivered counts persist.
+  void Unbind(const std::string& query_name) {
+    for (auto& [stream, names] : routes_) {
+      names.erase(std::remove(names.begin(), names.end(), query_name),
+                  names.end());
+    }
   }
   void SetHandler(const OutputHandler* handler) { handler_ = handler; }
 
@@ -43,7 +52,6 @@ StreamEngine::~StreamEngine() = default;
 
 Status StreamEngine::RegisterSource(const std::string& name, Schema schema,
                                     int sharable_label) {
-  if (started()) return Status::Internal("engine already started");
   if (catalog_.Resolve(name) != nullptr) {
     return Status::AlreadyExists(StrCat("source '", name, "' exists"));
   }
@@ -51,11 +59,26 @@ Status StreamEngine::RegisterSource(const std::string& name, Schema schema,
   return Status::OK();
 }
 
+int StreamEngine::FindQuery(const std::string& name) const {
+  // Case-insensitive, matching Catalog resolution — otherwise two queries
+  // differing only in case would collide in the catalog, and removing one
+  // would strip the other's entry.
+  const std::string needle = ToLower(name);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (ToLower(queries_[i].name) == needle) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 Status StreamEngine::AddQuery(Query query) {
-  if (started()) return Status::Internal("engine already started");
   if (query.root == nullptr) {
     return Status::InvalidArgument("query has no body");
   }
+  if (FindQuery(query.name) >= 0) {
+    return Status::AlreadyExists(
+        StrCat("query '", query.name, "' already exists"));
+  }
+  if (started()) return AddQueryLive(std::move(query));
   catalog_.AddQuery(query);
   queries_.push_back(std::move(query));
   return Status::OK();
@@ -79,6 +102,63 @@ Status StreamEngine::AddScript(const std::string& rql) {
   return Status::OK();
 }
 
+Status StreamEngine::AddQueryLive(Query query) {
+  if (executor_->busy()) {
+    return Status::Internal("cannot add queries from inside a push");
+  }
+  // Compile the new query standalone into the live plan; roll every
+  // half-lowered m-op/channel/stream back if compilation fails midway.
+  Plan::Marker marker = plan_.Mark();
+  auto compiled = CompileQuery(query, &plan_);
+  if (!compiled.ok()) {
+    plan_.RollbackTo(marker);
+    return compiled.status();
+  }
+  // Incrementally merge the new subplan onto warm shared operators.
+  IncrementalMergeStats merged = MergeNewQuery(&plan_, options_);
+  stats_.dynamic_adds += 1;
+  stats_.incremental_cse_merges += merged.cse_merges;
+  stats_.incremental_attach_merges += merged.attach_merges;
+  stats_.incremental_rule_merges += merged.rule_merges;
+
+  auto out = plan_.OutputStreamOf(query.name);
+  RUMOR_CHECK(out.has_value());
+  sink_->Bind(*out, query.name);
+  executor_->Refresh();  // validates the plan
+  RefreshSourceIds();
+  catalog_.AddQuery(query);
+  queries_.push_back(std::move(query));
+  return Status::OK();
+}
+
+Status StreamEngine::RemoveQuery(const std::string& name) {
+  int index = FindQuery(name);
+  if (index < 0) {
+    return Status::NotFound(StrCat("no query named '", name, "'"));
+  }
+  // The lookup is case-insensitive; the plan and sink know the query by its
+  // registered spelling.
+  const std::string canonical = queries_[index].name;
+  if (started()) {
+    if (executor_->busy()) {
+      return Status::Internal("cannot remove queries from inside a push");
+    }
+    RUMOR_CHECK(plan_.UnmarkOutput(canonical));
+    sink_->Unbind(canonical);
+    // Reference-counted unsharing: tear down exactly what no surviving
+    // query reaches.
+    PruneStats pruned = PruneUnreachable(&plan_);
+    stats_.dynamic_removes += 1;
+    stats_.pruned_mops += pruned.removed_mops;
+    stats_.pruned_members +=
+        pruned.pruned_index_members + pruned.deactivated_members;
+    executor_->Refresh();  // validates the plan
+  }
+  queries_.erase(queries_.begin() + index);
+  catalog_.Remove(canonical);
+  return Status::OK();
+}
+
 Status StreamEngine::Start() {
   if (started()) return Status::Internal("engine already started");
   if (queries_.empty()) return Status::InvalidArgument("no queries added");
@@ -93,10 +173,15 @@ Status StreamEngine::Start() {
   }
   executor_ = std::make_unique<Executor>(&plan_, sink_.get());
   executor_->Prepare();
+  RefreshSourceIds();
+  return Status::OK();
+}
+
+void StreamEngine::RefreshSourceIds() {
+  source_ids_.clear();
   for (StreamId s : plan_.streams().Sources()) {
     source_ids_.push_back({plan_.streams().Get(s).name, s});
   }
-  return Status::OK();
 }
 
 Result<StreamId> StreamEngine::FindSourceId(const std::string& source) const {

@@ -11,6 +11,17 @@
 //   engine.SetOutputHandler([](const std::string& q, const Tuple& t) { ... });
 //   engine.Start();
 //   engine.Push("CPU", Tuple::MakeInts({1, 95}, 0));
+//
+// The query set is *dynamic*: AddQuery/AddQueryText/AddScript stay legal
+// after Start() — the new query is compiled standalone and incrementally
+// merged into the running shared plan (rules/incremental.h), snapping onto
+// warm shared operators (predicate indexes, shared aggregation windows,
+// CSE'd subtrees) without disturbing their state. RemoveQuery() tears down
+// exactly the operators no surviving query reaches (reference-counted
+// unsharing). A dynamically added query starts observing tuples from the
+// moment it is added; where it shares a warm operator it additionally
+// inherits that operator's in-window history (e.g. a backfilled shared
+// aggregate), exactly as if it had been running all along.
 #ifndef RUMOR_API_STREAM_ENGINE_H_
 #define RUMOR_API_STREAM_ENGINE_H_
 
@@ -32,18 +43,34 @@ class StreamEngine {
   explicit StreamEngine(OptimizerOptions options = OptimizerOptions());
   ~StreamEngine();  // defined in the .cc (HandlerSink is incomplete here)
 
-  // --- setup (before Start) --------------------------------------------------
+  // Engine lifecycle: configuring (before Start) or running (after).
+  enum class State { kConfiguring, kRunning };
+  State state() const {
+    return executor_ == nullptr ? State::kConfiguring : State::kRunning;
+  }
+
+  // --- setup ------------------------------------------------------------------
   // Registers an input stream; `sharable_label` marks base-case-2 sharable
-  // sources (same non-negative label).
+  // sources (same non-negative label). Legal in both states (a query added
+  // later may read a newly registered source).
   Status RegisterSource(const std::string& name, Schema schema,
                         int sharable_label = -1);
-  // Adds a logical query (from QueryBuilder / the translator / ...).
+  // Adds a logical query (from QueryBuilder / the translator / ...). Query
+  // names must be unique among live queries. After Start() the query is
+  // merged into the running plan (see file comment); it is illegal to call
+  // this from inside an output handler.
   Status AddQuery(Query query);
   // Parses and adds one RQL query; `name` overrides the statement name.
   Status AddQueryText(const std::string& rql, const std::string& name = "");
   // Parses a ';'-separated RQL script; later statements may reference
-  // earlier ones by name.
+  // earlier ones by name. After Start() the statements are added one by
+  // one; on a mid-script error the earlier statements stay added.
   Status AddScript(const std::string& rql);
+  // Removes a query by name (either state). Running-plan removal unshares
+  // reference-counted operators: m-ops still reached by surviving queries
+  // stay warm and untouched, everything else is torn down and its channels
+  // garbage-collected. Illegal from inside an output handler.
+  Status RemoveQuery(const std::string& name);
 
   // Called for every query result: (query name, output tuple).
   using OutputHandler = std::function<void(const std::string&, const Tuple&)>;
@@ -52,7 +79,7 @@ class StreamEngine {
   }
 
   // Compiles all queries into one plan, runs the m-rule optimizer, and
-  // prepares execution. No queries may be added afterwards.
+  // prepares execution. Queries may still be added/removed afterwards.
   Status Start();
 
   // --- runtime (after Start) -------------------------------------------------
@@ -71,17 +98,26 @@ class StreamEngine {
   // --- observability -----------------------------------------------------------
   bool started() const { return executor_ != nullptr; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
+  // Cumulative: Start()-time merge counts plus the dynamic_* /
+  // incremental_* fields maintained by live AddQuery/RemoveQuery.
   const OptimizeStats& optimize_stats() const { return stats_; }
-  // Total results delivered per query name.
+  // Total results delivered per query name (persists across RemoveQuery).
   int64_t OutputCount(const std::string& query_name) const;
-  // EXPLAIN-style plan report (includes runtime counters after pushes).
+  // EXPLAIN-style plan report (includes runtime counters after pushes;
+  // reflects the current plan of a running engine, including live merges).
   std::string Explain() const;
 
  private:
   class HandlerSink;
 
+  // Index of the live query named `name` in queries_, or -1.
+  int FindQuery(const std::string& name) const;
   // Stream id of a registered source, or NotFound / not-started errors.
   Result<StreamId> FindSourceId(const std::string& source) const;
+  // Compiles + incrementally merges a query into the running plan.
+  Status AddQueryLive(Query query);
+  // Re-derives the source name -> stream id table from the plan.
+  void RefreshSourceIds();
 
   OptimizerOptions options_;
   Catalog catalog_;
@@ -92,7 +128,7 @@ class StreamEngine {
   OptimizeStats stats_;
   std::unique_ptr<HandlerSink> sink_;
   std::unique_ptr<Executor> executor_;
-  // Source name -> stream id (resolved at Start).
+  // Source name -> stream id (resolved at Start / refreshed on live adds).
   std::vector<std::pair<std::string, StreamId>> source_ids_;
 };
 

@@ -8,6 +8,7 @@
 #ifndef RUMOR_COMMON_BITVECTOR_H_
 #define RUMOR_COMMON_BITVECTOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -66,6 +67,26 @@ class BitVector {
   bool Contains(const BitVector& other) const;
   // True if the intersection is non-empty.
   bool Intersects(const BitVector& other) const;
+
+  // Grows (or shrinks) to `new_size` addressable bits, preserving the values
+  // of surviving bits; new bits are zero. Used when a warm shared m-op gains
+  // a member and retained entries must widen their membership.
+  void Resize(int new_size) {
+    if (new_size == size_) return;
+    if (new_size > 64) {
+      std::vector<uint64_t> grown((new_size + 63) >> 6, 0);
+      const uint64_t* w = words();
+      const int copy_words =
+          std::min(num_words(), static_cast<int>(grown.size()));
+      for (int i = 0; i < copy_words; ++i) grown[i] = w[i];
+      heap_ = std::move(grown);
+    } else if (size_ > 64) {
+      inline_word_ = heap_.empty() ? 0 : heap_[0];
+      heap_.clear();
+    }
+    size_ = new_size;
+    ClearPadding();
+  }
 
   // In-place boolean algebra; operands must have equal size.
   BitVector& operator&=(const BitVector& other);

@@ -51,8 +51,59 @@ AggregateMop::AggregateMop(std::vector<Member> members, Sharing sharing,
 
 size_t AggregateMop::log_size() const {
   size_t n = 0;
-  for (const auto& e : engines_) n += e->log_size();
+  for (const auto& e : engines_) {
+    if (e != nullptr) n += e->log_size();
+  }
   return n;
+}
+
+bool AggregateMop::CanAttach(const Member& m) const {
+  if (mode_ != OutputMode::kPerMemberPorts) return false;
+  // Fragment members correspond to channel slots; a late member has no slot.
+  if (sharing_ == Sharing::kFragment) return false;
+  // An isolated multi-member m-op has no shared engine to join; a lone
+  // isolated member converts in place (its engine *is* a 1-member shared
+  // engine).
+  if (sharing_ == Sharing::kIsolated &&
+      (num_members() != 1 || engines_[0] == nullptr)) {
+    return false;
+  }
+  const Member& first = members_[0];
+  return m.input_slot == first.input_slot && m.spec.fn == first.spec.fn &&
+         m.spec.attr == first.spec.attr && m.spec.window > 0;
+}
+
+AggregateMop::AttachResult AggregateMop::AttachMember(const Member& m) {
+  RUMOR_CHECK(CanAttach(m));
+  if (sharing_ == Sharing::kIsolated) {
+    sharing_ = Sharing::kShared;
+    set_type(MopType::kSharedAggregate);
+  }
+  int slot = engines_[0]->FindInactiveMember();
+  if (slot >= 0) {
+    members_[slot] = m;
+    engines_[0]->ReuseMember(slot, m.spec);
+    return {slot, true};
+  }
+  members_.push_back(m);
+  engines_[0]->AddMember(m.spec);
+  set_num_outputs(num_outputs() + 1);
+  return {num_members() - 1, false};
+}
+
+void AggregateMop::DeactivateMember(int i) {
+  RUMOR_DCHECK(i >= 0 && i < num_members());
+  if (sharing_ == Sharing::kIsolated) {
+    engines_[i].reset();
+  } else {
+    engines_[0]->DeactivateMember(i);
+  }
+}
+
+bool AggregateMop::member_active(int i) const {
+  RUMOR_DCHECK(i >= 0 && i < num_members());
+  return sharing_ == Sharing::kIsolated ? engines_[i] != nullptr
+                                        : engines_[0]->member_active(i);
 }
 
 void AggregateMop::Process(int input_port, const ChannelTuple& ct,
@@ -92,6 +143,7 @@ template <typename EmitFn>
 void AggregateMop::ProcessOne(const ChannelTuple& ct, const EmitFn& emit) {
   if (sharing_ == Sharing::kIsolated) {
     for (int i = 0; i < num_members(); ++i) {
+      if (engines_[i] == nullptr) continue;  // deactivated member
       if (!ct.membership.Test(members_[i].input_slot)) continue;
       BitVector one = BitVector::AllOnes(1);
       engines_[i]->Process(ct.tuple, one, [&](int, Tuple result) {

@@ -42,6 +42,29 @@ class AggregateMop : public Mop {
   }
   const Member& member(int i) const { return members_[i]; }
   Sharing sharing() const { return sharing_; }
+  OutputMode output_mode() const { return mode_; }
+
+  // --- dynamic membership (online query churn) -------------------------------
+  // True if `m` can be absorbed as a new member without disturbing warm
+  // state: per-member-ports output, same fn/attr/input_slot, and this m-op
+  // is either the sα target or a lone isolated member (which converts to an
+  // sα target in place, reusing its warm engine).
+  bool CanAttach(const Member& m) const;
+  // Absorbs `m` (CanAttach must hold), backfilling its state from the
+  // retained log. A deactivated member slot is reused when one exists —
+  // add/remove churn does not grow the member set without bound — in which
+  // case the slot's output port keeps its existing channel binding and the
+  // caller routes the new query onto that channel; otherwise the output
+  // ports grow by one and the caller binds the new port.
+  struct AttachResult {
+    int member = -1;
+    bool reused_slot = false;
+  };
+  AttachResult AttachMember(const Member& m);
+  // Deactivates a member whose query was removed; its port stays bound but
+  // the member no longer computes or emits, and its state is released.
+  void DeactivateMember(int i);
+  bool member_active(int i) const;
 
   // Size of the shared entry log (for tests/ablation; isolated mode sums
   // per-member logs).

@@ -23,6 +23,7 @@ const char* MopTypeName(MopType type) {
     case MopType::kChannelSequence: return "c;";
     case MopType::kSharedIterate: return "sµ";
     case MopType::kChannelIterate: return "cµ";
+    case MopType::kZip: return "zip";
   }
   return "?";
 }

@@ -44,6 +44,7 @@ enum class MopType : uint8_t {
   kChannelSequence,   // c; target
   kSharedIterate,     // sµ target
   kChannelIterate,    // cµ target
+  kZip,               // 1:1 pairing of two streams (multi-aggregate rows)
 };
 
 const char* MopTypeName(MopType type);
@@ -101,6 +102,9 @@ class Mop {
 
  protected:
   void set_num_outputs(int n) { num_outputs_ = n; }
+  // For m-ops whose sharing mode changes in place (e.g. a warm isolated
+  // aggregate absorbing a second member becomes an sα target).
+  void set_type(MopType type) { type_ = type; }
 
  private:
   MopType type_;

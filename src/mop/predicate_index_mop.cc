@@ -12,30 +12,43 @@ PredicateIndexMop::PredicateIndexMop(std::vector<SelectionDef> members,
       mode_(mode) {
   RUMOR_CHECK(!members_.empty());
   for (int i = 0; i < static_cast<int>(members_.size()); ++i) {
-    SelectionShape shape = AnalyzeSelection(members_[i].predicate);
-    if (!shape.equality.has_value()) {
-      sequential_.push_back(
-          {i, Program::Compile(members_[i].predicate)});
-      continue;
-    }
-    ++num_indexed_;
-    AttrIndex* index = nullptr;
-    for (AttrIndex& ai : indexes_) {
-      if (ai.attr == shape.equality->attr) {
-        index = &ai;
-        break;
-      }
-    }
-    if (index == nullptr) {
-      indexes_.push_back(AttrIndex{shape.equality->attr, {}});
-      index = &indexes_.back();
-    }
-    IndexedMember im;
-    im.member = i;
-    im.has_residual = shape.residual != nullptr;
-    if (im.has_residual) im.residual = Program::Compile(shape.residual);
-    index->by_constant[shape.equality->constant].push_back(std::move(im));
+    IndexMember(i);
   }
+}
+
+void PredicateIndexMop::IndexMember(int i) {
+  SelectionShape shape = AnalyzeSelection(members_[i].predicate);
+  if (!shape.equality.has_value()) {
+    sequential_.push_back({i, Program::Compile(members_[i].predicate)});
+    return;
+  }
+  ++num_indexed_;
+  AttrIndex* index = nullptr;
+  for (AttrIndex& ai : indexes_) {
+    if (ai.attr == shape.equality->attr) {
+      index = &ai;
+      break;
+    }
+  }
+  if (index == nullptr) {
+    indexes_.push_back(AttrIndex{shape.equality->attr, {}});
+    index = &indexes_.back();
+  }
+  IndexedMember im;
+  im.member = i;
+  im.has_residual = shape.residual != nullptr;
+  if (im.has_residual) im.residual = Program::Compile(shape.residual);
+  index->by_constant[shape.equality->constant].push_back(std::move(im));
+}
+
+int PredicateIndexMop::AddMember(SelectionDef def) {
+  members_.push_back(std::move(def));
+  const int i = num_members() - 1;
+  IndexMember(i);
+  if (mode_ == OutputMode::kPerMemberPorts) {
+    set_num_outputs(num_outputs() + 1);
+  }
+  return i;
 }
 
 void PredicateIndexMop::Process(int input_port, const ChannelTuple& ct,

@@ -31,14 +31,23 @@ class PredicateIndexMop : public Mop {
     return members_[i].Signature();
   }
   const SelectionDef& member(int i) const { return members_[i]; }
+  OutputMode output_mode() const { return mode_; }
 
   // Number of members served by hash indexes (observability / tests).
   int num_indexed_members() const { return num_indexed_; }
+
+  // Adds a member selection (online query churn: a new query's σ snaps onto
+  // the warm index). Selections are stateless, so this is always safe; in
+  // per-member-ports mode the output port count grows by one. Returns the
+  // new member index.
+  int AddMember(SelectionDef def);
 
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
 
  private:
+  // Routes member `i` into the hash indexes or the sequential list.
+  void IndexMember(int i);
   struct IndexedMember {
     int member;
     Program residual;   // empty => unconditional on probe hit

@@ -25,6 +25,7 @@ MinMaxImpl SharedAggEngine::default_min_max_impl() {
 SharedAggEngine::SharedAggEngine(std::vector<AggMemberSpec> members)
     : members_(std::move(members)),
       states_(members_.size()),
+      active_(members_.size(), 1),
       impl_(g_default_min_max_impl) {
   RUMOR_CHECK(!members_.empty());
   for (const AggMemberSpec& m : members_) {
@@ -114,12 +115,17 @@ void SharedAggEngine::Process(const Tuple& t, const BitVector& membership,
 
   for (int m = 0; m < num_members(); ++m) {
     MemberState& st = states_[m];
+    if (!active_[m]) {
+      // Deactivated members hold no state and must not pin the shared log.
+      st.cursor = base_ + static_cast<int64_t>(entries_.size());
+      continue;
+    }
     const int64_t member_window = members_[m].window;
     // Expire entries that left this member's window: ts <= now - window.
     while (st.cursor < base_ + static_cast<int64_t>(entries_.size())) {
       const Entry& e = entries_[st.cursor - base_];
       if (e.ts > now - member_window) break;
-      if (e.membership.Test(m)) {
+      if (EntryHasMember(e, m)) {
         Apply(m, e, -1);
         // Drop groups whose window emptied (bounds state by the number of
         // groups *live in the window*, not ever seen).
@@ -151,6 +157,70 @@ void SharedAggEngine::Process(const Tuple& t, const BitVector& membership,
     entries_.pop_front();
     ++base_;
   }
+}
+
+int SharedAggEngine::Backfill(int m) {
+  MemberState& st = states_[m];
+  st.cursor = base_ + static_cast<int64_t>(entries_.size());
+  if (entries_.empty()) return 0;
+
+  // Backfill: retained entries inside the member's window (relative to the
+  // newest logged timestamp) are applied in log order — the same FIFO
+  // discipline live processing follows, so two-stacks extrema stay valid.
+  // The entries' membership vectors are widened to include the member,
+  // which is what lets the normal expiry path retract them later.
+  const Timestamp last_ts = entries_.back().ts;
+  int backfilled = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    if (e.ts <= last_ts - members_[m].window) continue;
+    if (backfilled == 0) st.cursor = base_ + static_cast<int64_t>(i);
+    if (e.membership.size() < num_members()) {
+      e.membership.Resize(num_members());
+    }
+    e.membership.Set(m);
+    Apply(m, e, +1);
+    ++backfilled;
+  }
+  return backfilled;
+}
+
+int SharedAggEngine::AddMember(const AggMemberSpec& spec) {
+  RUMOR_CHECK(spec.fn == members_[0].fn && spec.attr == members_[0].attr)
+      << "shared aggregation requires identical fn and attribute";
+  RUMOR_CHECK(spec.window > 0) << "aggregate window must be positive";
+  members_.push_back(spec);
+  states_.emplace_back();
+  active_.push_back(1);
+  max_window_ = std::max(max_window_, spec.window);
+  return Backfill(num_members() - 1);
+}
+
+void SharedAggEngine::DeactivateMember(int member) {
+  RUMOR_DCHECK(member >= 0 && member < num_members());
+  active_[member] = 0;
+  states_[member].groups.clear();
+  states_[member].cursor = base_ + static_cast<int64_t>(entries_.size());
+}
+
+int SharedAggEngine::FindInactiveMember() const {
+  for (int m = 0; m < num_members(); ++m) {
+    if (!active_[m]) return m;
+  }
+  return -1;
+}
+
+int SharedAggEngine::ReuseMember(int member, const AggMemberSpec& spec) {
+  RUMOR_CHECK(member >= 0 && member < num_members());
+  RUMOR_CHECK(!active_[member]) << "slot is still in use";
+  RUMOR_CHECK(spec.fn == members_[0].fn && spec.attr == members_[0].attr)
+      << "shared aggregation requires identical fn and attribute";
+  RUMOR_CHECK(spec.window > 0) << "aggregate window must be positive";
+  members_[member] = spec;
+  active_[member] = 1;
+  max_window_ = std::max(max_window_, spec.window);
+  RUMOR_DCHECK(states_[member].groups.empty());
+  return Backfill(member);
 }
 
 }  // namespace rumor

@@ -248,6 +248,31 @@ class SharedAggEngine {
     return states_[member].groups.size();
   }
 
+  // --- dynamic membership (online query churn) -------------------------------
+  // Adds a member sharing this engine's fn/attr (group-by and window may
+  // differ). The caller guarantees the new member reads the same stream as
+  // the existing members (kShared / single-member-isolated discipline, where
+  // every log entry applies to every member). The member's state is
+  // backfilled from the retained log — entries within its window are applied
+  // as if the member had been present when they arrived — so it starts warm
+  // up to the log's retention horizon (max existing window). Returns the
+  // number of backfilled entries.
+  int AddMember(const AggMemberSpec& spec);
+
+  // Deactivates a member (its query was removed): clears its group states,
+  // parks its expiry cursor, and skips it on future input. The member index
+  // stays valid so other members' indices do not shift, and the slot can be
+  // reused by a later ReuseMember — add/remove churn does not grow the
+  // member set without bound.
+  void DeactivateMember(int member);
+  bool member_active(int member) const { return active_[member] != 0; }
+  // Index of a deactivated member slot, or -1.
+  int FindInactiveMember() const;
+  // Re-arms the deactivated slot `member` with a (possibly different) spec
+  // under the same fn/attr discipline as AddMember, backfilling its state
+  // from the retained log. Returns the number of backfilled entries.
+  int ReuseMember(int member, const AggMemberSpec& spec);
+
  private:
   struct Entry {
     Timestamp ts;
@@ -273,9 +298,19 @@ class SharedAggEngine {
 
   void Apply(int member, const Entry& e, int sign);
   Value Extract(const GroupState& g) const;
+  // Applies the retained in-window log entries to the (empty) state of
+  // member `m` and positions its cursor; shared by AddMember/ReuseMember.
+  int Backfill(int m);
+
+  // Entries logged before a member joined carry a narrower membership
+  // vector; such entries never belong to the late member.
+  static bool EntryHasMember(const Entry& e, int member) {
+    return member < e.membership.size() && e.membership.Test(member);
+  }
 
   std::vector<AggMemberSpec> members_;
   std::vector<MemberState> states_;
+  std::vector<char> active_;  // parallel to members_; 0 = deactivated
   std::deque<Entry> entries_;
   int64_t base_ = 0;
   int64_t max_window_ = 0;

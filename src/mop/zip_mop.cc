@@ -1,0 +1,40 @@
+#include "mop/zip_mop.h"
+
+#include "common/hash.h"
+
+namespace rumor {
+
+ZipMop::ZipMop(int left_width, int right_width)
+    : Mop(MopType::kZip, /*num_inputs=*/2, /*num_outputs=*/1),
+      left_width_(left_width),
+      right_width_(right_width) {}
+
+uint64_t ZipMop::MemberSignature(int i) const {
+  RUMOR_DCHECK(i == 0);
+  (void)i;
+  uint64_t h = Mix64(static_cast<uint64_t>(MopType::kZip));
+  h = HashCombine(h, static_cast<uint64_t>(left_width_));
+  return HashCombine(h, static_cast<uint64_t>(right_width_));
+}
+
+void ZipMop::Process(int input_port, const ChannelTuple& ct, Emitter& out) {
+  RUMOR_DCHECK(input_port == 0 || input_port == 1);
+  RUMOR_DCHECK(ct.membership.Test(0)) << "zip inputs are capacity-1 channels";
+  pending_[input_port].push_back(ct.tuple);
+  while (!pending_[0].empty() && !pending_[1].empty()) {
+    const Tuple& l = pending_[0].front();
+    const Tuple& r = pending_[1].front();
+    std::vector<Value> values;
+    values.reserve(left_width_ + right_width_);
+    for (int i = 0; i < l.size(); ++i) values.push_back(l.at(i));
+    for (int i = 0; i < r.size(); ++i) values.push_back(r.at(i));
+    Timestamp ts = std::max(l.ts(), r.ts());
+    pending_[0].pop_front();
+    pending_[1].pop_front();
+    out.Emit(0, ChannelTuple{Tuple::Make(std::move(values), ts),
+                             BitVector::Singleton(0, 1)});
+    CountOut();
+  }
+}
+
+}  // namespace rumor

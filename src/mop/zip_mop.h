@@ -1,0 +1,43 @@
+// ZipMop — pairs the k-th tuple of its left input with the k-th tuple of
+// its right input and emits the concatenation (timestamp = the later of the
+// two, which for its uses is always the shared input timestamp).
+//
+// This is the glue behind multi-aggregate SELECTs: every aggregate m-op
+// emits exactly one output per input tuple of the affected group, and all
+// aggregates of one SELECT read the same input, so zipping their output
+// streams in arrival order reconstitutes one row per input tuple carrying
+// every aggregate column. Per-port buffering keeps the pairing correct under
+// any executor interleaving of the two branches.
+#ifndef RUMOR_MOP_ZIP_MOP_H_
+#define RUMOR_MOP_ZIP_MOP_H_
+
+#include <deque>
+
+#include "mop/mop.h"
+
+namespace rumor {
+
+class ZipMop : public Mop {
+ public:
+  // Widths of the left/right input schemas (the output is their concat).
+  ZipMop(int left_width, int right_width);
+
+  int num_members() const override { return 1; }
+  uint64_t MemberSignature(int i) const override;
+
+  void Process(int input_port, const ChannelTuple& tuple,
+               Emitter& out) override;
+
+  // Tuples buffered on one side awaiting their counterpart (zero between
+  // fully propagated pushes).
+  size_t pending() const { return pending_[0].size() + pending_[1].size(); }
+
+ private:
+  int left_width_;
+  int right_width_;
+  std::deque<Tuple> pending_[2];
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_MOP_ZIP_MOP_H_

@@ -7,6 +7,7 @@
 #include "mop/projection_mop.h"
 #include "mop/selection_mop.h"
 #include "mop/sequence_mop.h"
+#include "mop/zip_mop.h"
 
 namespace rumor {
 
@@ -64,6 +65,12 @@ class Compiler {
           return std::make_unique<IterateMop>(
               std::vector<IterateMop::Member>{{0, 0, def}},
               IterateMop::Sharing::kIsolated, OutputMode::kPerMemberPorts);
+        });
+      case QueryOp::kZip:
+        return LowerBinary(node, [&](const QueryNode& n) {
+          return std::make_unique<ZipMop>(
+              n.child(0)->output_schema().size(),
+              n.child(1)->output_schema().size());
         });
     }
     return Status::Internal("unknown query node");

@@ -65,19 +65,51 @@ Executor::Executor(Plan* plan, OutputSink* sink)
 
 void Executor::Prepare() {
   plan_->Validate();
+  BuildRouting();
+  prepared_ = true;
+}
+
+void Executor::Refresh() {
+  RUMOR_CHECK(prepared_) << "call Prepare() first";
+  RUMOR_CHECK(!busy()) << "cannot refresh routing mid-push";
+  RUMOR_DCHECK(stack_.empty() && deferred_.empty());
+#ifndef NDEBUG
+  // Debug builds re-validate the mutated plan on every refresh; release
+  // builds rely on the add/remove paths having validated their rewrites.
+  plan_->Validate();
+#endif
+  // Between pushes every batch buffer is drained, so re-deriving the
+  // routing tables loses no in-flight work; BuildRouting preserves the
+  // buffer vector (capacity and all) for channels that survive.
+  BuildRouting();
+}
+
+void Executor::BuildRouting() {
   routes_.assign(plan_->num_channels(), Route{});
+  // One pass over the m-ops (not ConsumersOf per channel, which is
+  // quadratic on merged plans and painful on every live add).
+  for (int m = 0; m < plan_->num_mops(); ++m) {
+    if (!plan_->IsLive(m)) continue;
+    const std::vector<ChannelId>& ins = plan_->input_channels(m);
+    for (int p = 0; p < static_cast<int>(ins.size()); ++p) {
+      if (ins[p] != kInvalidChannel) {
+        routes_[ins[p]].consumers.push_back({m, p});
+      }
+    }
+  }
+  // Streams marked as query outputs, deduplicated (several queries may
+  // share one output stream after CSE; each stream tuple is delivered once
+  // per stream — the sink maps streams back to queries).
+  std::vector<char> is_output(plan_->streams().size(), 0);
+  for (const Plan::OutputDef& out : plan_->outputs()) {
+    is_output[out.stream] = 1;
+  }
   for (ChannelId c = 0; c < plan_->num_channels(); ++c) {
-    routes_[c].consumers = plan_->ConsumersOf(c);
+    if (plan_->channel_dead(c)) continue;  // tombstone: routes stay empty
     const ChannelDef& def = plan_->channel(c);
-    for (const Plan::OutputDef& out : plan_->outputs()) {
-      if (auto slot = def.SlotOf(out.stream)) {
-        // Several queries may share one output stream after CSE; deliver
-        // each stream tuple once (consumers map query -> stream).
-        bool seen = false;
-        for (const auto& [s, stream] : routes_[c].output_slots) {
-          seen |= s == *slot && stream == out.stream;
-        }
-        if (!seen) routes_[c].output_slots.push_back({*slot, out.stream});
+    for (int slot = 0; slot < def.capacity(); ++slot) {
+      if (is_output[def.stream_at(slot)]) {
+        routes_[c].output_slots.push_back({slot, def.stream_at(slot)});
       }
     }
   }
@@ -86,8 +118,10 @@ void Executor::Prepare() {
     if (auto c = plan_->FindSourceChannel(s)) source_route_[s] = *c;
   }
   batch_safe_.assign(plan_->num_channels(), -1);
-  channel_buffers_.assign(plan_->num_channels(), {});
-  prepared_ = true;
+  // Grow-only so surviving channels keep their warmed buffer capacity.
+  if (static_cast<int>(channel_buffers_.size()) < plan_->num_channels()) {
+    channel_buffers_.resize(plan_->num_channels());
+  }
 }
 
 bool Executor::BatchSafe(ChannelId channel) {

@@ -83,6 +83,18 @@ class Executor {
   // Builds routing tables; validates the plan. Call once before pushing.
   void Prepare();
 
+  // Rebuilds the routing tables after the plan changed underneath a running
+  // executor (online query churn: AddQuery/RemoveQuery after Start). Keeps
+  // everything the routing rebuild does not invalidate: delivery counters,
+  // per-channel batch buffers (and their warmed capacity) for channels that
+  // survive, and m-op state (owned by the plan). Must not be called from
+  // inside a push (CHECK-fails if busy()).
+  void Refresh();
+
+  // True while a push is propagating (an output handler is running). Plan
+  // mutations are illegal in this window.
+  bool busy() const { return draining_ || in_run_batch_; }
+
   // Pushes one tuple of a *source stream*; timestamps must be
   // non-decreasing per call sequence.
   void PushSource(StreamId stream, const Tuple& tuple);
@@ -132,6 +144,10 @@ class Executor {
 
   class PortEmitter;
   class BatchEmitter;
+
+  // Derives routes_/source_route_/batch_safe_ from the current plan (one
+  // pass over the m-ops; shared by Prepare and Refresh).
+  void BuildRouting();
 
   // Pushes a kChannel task and, unless a drain is already running higher up
   // the call stack, drains the work stack.

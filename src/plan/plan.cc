@@ -14,7 +14,44 @@ ChannelId Plan::AddChannel(std::vector<StreamId> streams, Schema schema) {
   }
   ChannelId id = static_cast<ChannelId>(channels_.size());
   channels_.emplace_back(id, std::move(streams), std::move(schema));
+  channel_dead_.push_back(0);
   return id;
+}
+
+bool Plan::ChannelPinned(ChannelId id) const {
+  // Source channels are fed by Executor::PushSource.
+  for (const auto& [s, c] : source_channels_) {
+    if (c == id) return true;
+  }
+  // Source-group channels are fed by Executor::PushChannel.
+  if (channels_[id].capacity() > 1) {
+    bool all_sources = true;
+    for (StreamId s : channels_[id].streams()) {
+      all_sources &= streams_.Get(s).is_source;
+    }
+    if (all_sources) return true;
+  }
+  return false;
+}
+
+bool Plan::MaybeKillChannel(ChannelId id) {
+  if (channel_dead_[id]) return false;
+  if (ChannelPinned(id)) return false;
+  if (ProducerOf(id).has_value()) return false;
+  if (!ConsumersOf(id).empty()) return false;
+  for (const OutputDef& def : outputs_) {
+    if (channels_[id].SlotOf(def.stream).has_value()) return false;
+  }
+  channel_dead_[id] = 1;
+  return true;
+}
+
+int Plan::GcOrphanChannels() {
+  int collected = 0;
+  for (ChannelId c = 0; c < num_channels(); ++c) {
+    if (MaybeKillChannel(c)) ++collected;
+  }
+  return collected;
 }
 
 ChannelId Plan::SourceChannelOf(StreamId stream) {
@@ -52,9 +89,18 @@ MopId Plan::AddMop(std::unique_ptr<Mop> mop) {
 
 void Plan::RemoveMop(MopId id) {
   RUMOR_CHECK(IsLive(id));
+  std::vector<ChannelId> touched = mop_inputs_[id];
+  touched.insert(touched.end(), mop_outputs_[id].begin(),
+                 mop_outputs_[id].end());
   mops_[id].reset();
   mop_inputs_[id].clear();
   mop_outputs_[id].clear();
+  // Collect channels this removal orphaned. Rules that reuse a removed
+  // m-op's channels bind the replacement first, so those still have a
+  // producer or consumers here and survive.
+  for (ChannelId c : touched) {
+    if (c != kInvalidChannel) MaybeKillChannel(c);
+  }
 }
 
 std::vector<MopId> Plan::LiveMops() const {
@@ -78,6 +124,17 @@ void Plan::BindOutput(MopId mop, int port, ChannelId channel) {
               port < static_cast<int>(mop_outputs_[mop].size()));
   RUMOR_CHECK(channel >= 0 && channel < num_channels());
   mop_outputs_[mop][port] = channel;
+}
+
+int Plan::AddMopOutputPort(MopId mop, ChannelId channel) {
+  RUMOR_CHECK(IsLive(mop));
+  RUMOR_CHECK(channel >= 0 && channel < num_channels());
+  RUMOR_CHECK(!channel_dead_[channel]);
+  mop_outputs_[mop].push_back(channel);
+  RUMOR_CHECK(static_cast<int>(mop_outputs_[mop].size()) ==
+              mops_[mop]->num_outputs())
+      << "grow the m-op's port count (AddMember) before binding it";
+  return static_cast<int>(mop_outputs_[mop].size()) - 1;
 }
 
 ChannelId Plan::input_channel(MopId mop, int port) const {
@@ -113,6 +170,74 @@ std::optional<ChannelEnd> Plan::ProducerOf(ChannelId channel) const {
 
 void Plan::MarkOutput(StreamId stream, std::string query_name) {
   outputs_.push_back({stream, std::move(query_name)});
+}
+
+bool Plan::UnmarkOutput(const std::string& query_name) {
+  for (auto it = outputs_.begin(); it != outputs_.end(); ++it) {
+    if (it->query_name == query_name) {
+      outputs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Plan::Marker Plan::Mark() const {
+  Marker m;
+  m.num_mops = num_mops();
+  m.num_channels = num_channels();
+  m.num_streams = streams_.size();
+  m.num_outputs = static_cast<int>(outputs_.size());
+  m.num_source_channels = static_cast<int>(source_channels_.size());
+  m.derived_counter = derived_counter_;
+  return m;
+}
+
+void Plan::RollbackTo(const Marker& marker) {
+  RUMOR_CHECK(marker.num_mops <= num_mops());
+  RUMOR_CHECK(marker.num_channels <= num_channels());
+  mops_.resize(marker.num_mops);
+  mop_inputs_.resize(marker.num_mops);
+  mop_outputs_.resize(marker.num_mops);
+  channels_.resize(marker.num_channels);
+  channel_dead_.resize(marker.num_channels);
+  streams_.TruncateTo(marker.num_streams);
+  outputs_.resize(marker.num_outputs);
+  source_channels_.resize(marker.num_source_channels);
+  derived_counter_ = marker.derived_counter;
+}
+
+std::vector<int> Plan::QueryRefCounts() const {
+  std::vector<int> refs(num_mops(), 0);
+  for (const OutputDef& def : outputs_) {
+    // Reverse reachability from every channel carrying this query's output
+    // stream: producer m-ops, then their inputs' producers, transitively.
+    std::vector<char> mop_seen(num_mops(), 0);
+    std::vector<char> chan_seen(num_channels(), 0);
+    std::vector<ChannelId> worklist;
+    for (ChannelId c = 0; c < num_channels(); ++c) {
+      if (channel_dead_[c]) continue;
+      if (channels_[c].SlotOf(def.stream).has_value()) {
+        chan_seen[c] = 1;
+        worklist.push_back(c);
+      }
+    }
+    while (!worklist.empty()) {
+      ChannelId c = worklist.back();
+      worklist.pop_back();
+      std::optional<ChannelEnd> producer = ProducerOf(c);
+      if (!producer.has_value() || mop_seen[producer->mop]) continue;
+      mop_seen[producer->mop] = 1;
+      for (ChannelId in : mop_inputs_[producer->mop]) {
+        if (in != kInvalidChannel && !chan_seen[in]) {
+          chan_seen[in] = 1;
+          worklist.push_back(in);
+        }
+      }
+    }
+    for (int m = 0; m < num_mops(); ++m) refs[m] += mop_seen[m];
+  }
+  return refs;
 }
 
 std::optional<StreamId> Plan::OutputStreamOf(
@@ -155,16 +280,42 @@ std::vector<ChannelId> Plan::SourceGroupChannels() const {
 void Plan::Validate() const {
   for (int m = 0; m < num_mops(); ++m) {
     if (mops_[m] == nullptr) continue;
+    RUMOR_CHECK(static_cast<int>(mop_inputs_[m].size()) ==
+                mops_[m]->num_inputs())
+        << mops_[m]->name() << " input port count drifted";
+    RUMOR_CHECK(static_cast<int>(mop_outputs_[m].size()) ==
+                mops_[m]->num_outputs())
+        << mops_[m]->name() << " output port count drifted";
     for (size_t p = 0; p < mop_inputs_[m].size(); ++p) {
-      RUMOR_CHECK(mop_inputs_[m][p] != kInvalidChannel)
+      ChannelId c = mop_inputs_[m][p];
+      RUMOR_CHECK(c != kInvalidChannel)
           << mops_[m]->name() << " input port " << p << " unbound";
+      RUMOR_CHECK(c >= 0 && c < num_channels())
+          << mops_[m]->name() << " input port " << p << " out of range";
+      RUMOR_CHECK(!channel_dead_[c])
+          << mops_[m]->name() << " reads dead channel " << c;
     }
     for (size_t p = 0; p < mop_outputs_[m].size(); ++p) {
-      RUMOR_CHECK(mop_outputs_[m][p] != kInvalidChannel)
+      ChannelId c = mop_outputs_[m][p];
+      RUMOR_CHECK(c != kInvalidChannel)
           << mops_[m]->name() << " output port " << p << " unbound";
+      RUMOR_CHECK(c >= 0 && c < num_channels())
+          << mops_[m]->name() << " output port " << p << " out of range";
+      RUMOR_CHECK(!channel_dead_[c])
+          << mops_[m]->name() << " writes dead channel " << c;
     }
   }
-  // Each channel has at most one producer port.
+  // Every query output stream must still be carried by some live channel.
+  for (const OutputDef& def : outputs_) {
+    bool carried = false;
+    for (ChannelId c = 0; c < num_channels() && !carried; ++c) {
+      carried = !channel_dead_[c] && channels_[c].SlotOf(def.stream).has_value();
+    }
+    RUMOR_CHECK(carried) << "output stream of query '" << def.query_name
+                         << "' is not carried by any live channel";
+  }
+  // Each channel has at most one producer port, and dead channels are fully
+  // unwired (the port checks above already reject live m-ops bound to them).
   std::vector<int> producers(channels_.size(), 0);
   for (int m = 0; m < num_mops(); ++m) {
     if (mops_[m] == nullptr) continue;
@@ -173,15 +324,25 @@ void Plan::Validate() const {
   for (size_t c = 0; c < channels_.size(); ++c) {
     RUMOR_CHECK(producers[c] <= 1)
         << "channel " << c << " has " << producers[c] << " producers";
+    RUMOR_CHECK(!channel_dead_[c] || producers[c] == 0)
+        << "dead channel " << c << " has a producer";
   }
-  // Acyclicity via DFS over mop -> consumer edges.
+  // Acyclicity via DFS over mop -> consumer edges. Consumer lists are built
+  // in one pass over the m-ops (ConsumersOf per channel is quadratic).
   enum { kWhite, kGrey, kBlack };
   std::vector<int> color(num_mops(), kWhite);
+  std::vector<std::vector<MopId>> consumers_by_channel(channels_.size());
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (ChannelId c : mop_inputs_[m]) consumers_by_channel[c].push_back(m);
+  }
   std::vector<std::vector<MopId>> succ(num_mops());
   for (int m = 0; m < num_mops(); ++m) {
     if (mops_[m] == nullptr) continue;
     for (ChannelId c : mop_outputs_[m]) {
-      for (const ChannelEnd& end : ConsumersOf(c)) succ[m].push_back(end.mop);
+      for (MopId consumer : consumers_by_channel[c]) {
+        succ[m].push_back(consumer);
+      }
     }
   }
   // Iterative DFS.

@@ -50,6 +50,16 @@ class Plan {
     return channels_[id];
   }
   int num_channels() const { return static_cast<int>(channels_.size()); }
+  // A channel is dead once nothing produces, consumes, or feeds it; dead
+  // channels are tombstones (ids stay dense) that the executor skips.
+  bool channel_dead(ChannelId id) const {
+    RUMOR_DCHECK(id >= 0 && id < num_channels());
+    return channel_dead_[id];
+  }
+  // Marks every orphaned channel dead (see channel_dead); returns the number
+  // of channels newly collected. RemoveMop collects its own former channels;
+  // this sweep catches the rest after bulk teardown.
+  int GcOrphanChannels();
   // The capacity-1 channel of a source stream (created on first use).
   ChannelId SourceChannelOf(StreamId stream);
   std::optional<ChannelId> FindSourceChannel(StreamId stream) const;
@@ -59,7 +69,9 @@ class Plan {
 
   // --- m-ops ----------------------------------------------------------------
   MopId AddMop(std::unique_ptr<Mop> mop);
-  // Tombstones the m-op and clears its bindings.
+  // Tombstones the m-op, clears its bindings, and garbage-collects channels
+  // the removal orphaned (no producer, no consumers, no output stream, not
+  // externally fed) so later passes cannot trip on dangling subscriptions.
   void RemoveMop(MopId id);
   bool IsLive(MopId id) const {
     return id >= 0 && id < num_mops() && mops_[id] != nullptr;
@@ -79,6 +91,10 @@ class Plan {
   // --- wiring ---------------------------------------------------------------
   void BindInput(MopId mop, int port, ChannelId channel);
   void BindOutput(MopId mop, int port, ChannelId channel);
+  // Binds a freshly grown output port of `mop` (the m-op must already report
+  // the larger num_outputs(), e.g. after AddMember on a warm shared m-op);
+  // returns the new port index.
+  int AddMopOutputPort(MopId mop, ChannelId channel);
   ChannelId input_channel(MopId mop, int port) const;
   ChannelId output_channel(MopId mop, int port) const;
   const std::vector<ChannelId>& input_channels(MopId mop) const {
@@ -109,9 +125,36 @@ class Plan {
   };
   void MarkOutput(StreamId stream, std::string query_name);
   const std::vector<OutputDef>& outputs() const { return outputs_; }
+  // Removes the output mark of `query_name`; returns false if absent. Other
+  // queries sharing the same stream keep their marks.
+  bool UnmarkOutput(const std::string& query_name);
   // Current output stream of a query (CSE may remap streams after
   // compilation, so use this rather than a compile-time CompiledQuery).
   std::optional<StreamId> OutputStreamOf(const std::string& query_name) const;
+
+  // --- dynamic-plan support ---------------------------------------------------
+  // Size snapshot for transactional growth: Mark() before compiling a new
+  // query into a live plan, RollbackTo() if compilation fails midway so no
+  // half-lowered m-ops/channels/streams leak into the running engine.
+  struct Marker {
+    int num_mops = 0;
+    int num_channels = 0;
+    int num_streams = 0;
+    int num_outputs = 0;
+    int num_source_channels = 0;
+    int derived_counter = 0;
+  };
+  Marker Mark() const;
+  // Undoes every AddMop/AddChannel/AddDerivedChannel/MarkOutput since
+  // `marker`. Only valid while nothing created before the marker was rebound
+  // to entities created after it (true for a failed CompileQuery).
+  void RollbackTo(const Marker& marker);
+
+  // Per-m-op count of queries whose output transitively depends on the m-op
+  // (reverse reachability from output streams). A count of zero means no
+  // surviving query reaches the m-op — the reference counts that drive
+  // RemoveQuery unsharing; also useful observability for live plans.
+  std::vector<int> QueryRefCounts() const;
 
   // --- diagnostics -----------------------------------------------------------
   // Internal consistency: ports fully bound, schemas compatible along
@@ -120,8 +163,15 @@ class Plan {
   std::string ToString() const;
 
  private:
+  // True if the channel is externally fed or otherwise must never be
+  // collected (source channels, source-group channels).
+  bool ChannelPinned(ChannelId id) const;
+  // Marks `id` dead if orphaned; returns true if it was collected.
+  bool MaybeKillChannel(ChannelId id);
+
   StreamRegistry streams_;
   std::vector<ChannelDef> channels_;
+  std::vector<char> channel_dead_;  // parallel to channels_
   std::vector<std::unique_ptr<Mop>> mops_;
   std::vector<std::vector<ChannelId>> mop_inputs_;
   std::vector<std::vector<ChannelId>> mop_outputs_;

@@ -17,6 +17,20 @@ void Catalog::AddQuery(const Query& query) {
   entries_.push_back({query.name, query.root});
 }
 
+bool Catalog::Remove(const std::string& name) {
+  bool removed = false;
+  const std::string needle = ToLower(name);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (ToLower(it->name) == needle) {
+      it = entries_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 QueryNodePtr Catalog::Resolve(const std::string& name) const {
   // Later definitions shadow earlier ones.
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
@@ -173,16 +187,12 @@ class QueryParser {
     for (const SelItem& it : items) {
       if (it.agg.has_value()) ++agg_count;
     }
-    if (agg_count > 1) {
-      return Status::Unimplemented(
-          "multiple aggregates in one SELECT are not supported");
-    }
-    if (agg_count == 1) {
-      const SelItem* agg_item = nullptr;
+    if (agg_count >= 1) {
+      std::vector<const SelItem*> agg_items;
       std::vector<std::string> out_groups;
       for (const SelItem& it : items) {
         if (it.agg.has_value()) {
-          agg_item = &it;
+          agg_items.push_back(&it);
         } else {
           out_groups.push_back(it.attr);
         }
@@ -199,20 +209,53 @@ class QueryParser {
         return Error("aggregate query requires [RANGE n] on its input");
       }
       const Schema& in = node->output_schema();
-      int agg_attr = -1;
-      if (*agg_item->agg != AggFn::kCount) {
-        auto idx = LookupAttr(in, agg_item->attr);
-        if (!idx.ok()) return idx.status();
-        agg_attr = idx.value();
-      }
       std::vector<int> groups;
       for (const std::string& g : group_names) {
         auto idx = LookupAttr(in, g);
         if (!idx.ok()) return idx.status();
         groups.push_back(idx.value());
       }
-      return QueryNode::Aggregate(node, *agg_item->agg, agg_attr,
-                                  std::move(groups), fr.window);
+      // One aggregate node per AGGFN item, all over the same input, window
+      // and group-by; each emits (group attrs..., result).
+      std::vector<QueryNodePtr> aggs;
+      for (const SelItem* it : agg_items) {
+        int agg_attr = -1;
+        if (*it->agg != AggFn::kCount) {
+          auto idx = LookupAttr(in, it->attr);
+          if (!idx.ok()) return idx.status();
+          agg_attr = idx.value();
+        }
+        aggs.push_back(
+            QueryNode::Aggregate(node, *it->agg, agg_attr, groups,
+                                 fr.window));
+      }
+      if (aggs.size() == 1) return aggs[0];
+      // >= 2 aggregates: every aggregate emits exactly one row per input
+      // tuple, so zipping their outputs in arrival order reassembles one
+      // row carrying all aggregate columns; a final projection keeps the
+      // group attributes once plus each aggregate value (select-list
+      // order). The per-aggregate subplans stay separate single-aggregate
+      // operators, so the sα/cα sharing rules apply to them individually.
+      QueryNodePtr zipped = aggs[0];
+      std::vector<int> value_offsets;
+      int width = aggs[0]->output_schema().size();
+      value_offsets.push_back(width - 1);
+      for (size_t i = 1; i < aggs.size(); ++i) {
+        zipped = QueryNode::Zip(zipped, aggs[i]);
+        width += aggs[i]->output_schema().size();
+        value_offsets.push_back(width - 1);
+      }
+      SchemaMap map;
+      for (size_t k = 0; k < groups.size(); ++k) {
+        map.Add(in.attribute(groups[k]).name,
+                Expr::Attr(Side::kLeft, static_cast<int>(k)));
+      }
+      for (size_t j = 0; j < aggs.size(); ++j) {
+        const Schema& as = aggs[j]->output_schema();
+        map.Add(as.attribute(as.size() - 1).name,
+                Expr::Attr(Side::kLeft, value_offsets[j]));
+      }
+      return QueryNode::Project(zipped, std::move(map));
     }
 
     if (!group_names.empty()) {

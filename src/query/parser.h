@@ -50,6 +50,9 @@ class Catalog {
   void AddSource(const std::string& name, Schema schema,
                  int sharable_label = -1);
   void AddQuery(const Query& query);
+  // Drops every entry registered under `name` (a removed query may no
+  // longer be referenced by later queries); returns false if none existed.
+  bool Remove(const std::string& name);
 
   // Subtree for `name`: a fresh Source node for sources, the defining
   // subtree for named queries; nullptr if unknown.

@@ -17,6 +17,7 @@ const char* QueryOpName(QueryOp op) {
     case QueryOp::kJoin: return "Join";
     case QueryOp::kSequence: return "Sequence";
     case QueryOp::kIterate: return "Iterate";
+    case QueryOp::kZip: return "Zip";
   }
   return "?";
 }
@@ -219,6 +220,17 @@ QueryNodePtr QueryNode::IterateSplit(QueryNodePtr left, QueryNodePtr right,
   return n;
 }
 
+QueryNodePtr QueryNode::Zip(QueryNodePtr left, QueryNodePtr right) {
+  auto n = RUMOR_NEW_NODE();
+  n->op_ = QueryOp::kZip;
+  n->output_schema_ =
+      Schema::Concat(left->output_schema(), right->output_schema());
+  n->children_ = {std::move(left), std::move(right)};
+  n->signature_ = CombineChildSignatures(
+      Mix64(static_cast<uint64_t>(n->op_)), n->children_);
+  return n;
+}
+
 namespace {
 
 void Render(const QueryNode& n, int indent, std::ostringstream& os) {
@@ -252,6 +264,8 @@ void Render(const QueryNode& n, int indent, std::ostringstream& os) {
     case QueryOp::kIterate:
       os << "[" << (n.predicate() ? n.predicate()->ToString() : "true")
          << " within=" << n.window() << "]";
+      break;
+    case QueryOp::kZip:
       break;
   }
   os << "\n";

@@ -46,6 +46,7 @@ enum class QueryOp : uint8_t {
   kJoin,
   kSequence,
   kIterate,
+  kZip,
 };
 
 const char* QueryOpName(QueryOp op);
@@ -85,6 +86,10 @@ class QueryNode {
   static QueryNodePtr IterateSplit(QueryNodePtr left, QueryNodePtr right,
                                    ExprPtr match, ExprPtr rebind,
                                    int64_t window);
+  // 1:1 pairing of two streams that emit in lockstep (each input tuple of
+  // the common ancestor yields exactly one tuple on each side); the output
+  // is the concatenation. The parser builds multi-aggregate SELECTs with it.
+  static QueryNodePtr Zip(QueryNodePtr left, QueryNodePtr right);
 
   // --- accessors -----------------------------------------------------------
   QueryOp op() const { return op_; }

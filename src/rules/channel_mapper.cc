@@ -313,7 +313,10 @@ bool TrySourceGroups(Plan* plan, const SharableAnalysis& sharable) {
 
 }  // namespace
 
-int ChannelRule::ApplyAll(Plan* plan, const SharableAnalysis& sharable) {
+int ChannelRule::ApplyAll(Plan* plan, const SharableAnalysis* analysis) {
+  RUMOR_CHECK(analysis != nullptr)
+      << "the channel rule needs the ~ analysis (not applied incrementally)";
+  const SharableAnalysis& sharable = *analysis;
   int merges = 0;
   while (TryProducerGroups(plan, sharable) ||
          TrySourceGroups(plan, sharable)) {

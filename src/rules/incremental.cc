@@ -1,0 +1,347 @@
+#include "rules/incremental.h"
+
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "mop/aggregate_mop.h"
+#include "mop/join_mop.h"
+#include "mop/predicate_index_mop.h"
+#include "mop/selection_mop.h"
+#include "rules/rule.h"
+#include "rules/sharable.h"
+
+namespace rumor {
+
+namespace {
+
+// Member-level CSE: a single-member m-op identical to a *member* of an
+// existing merged m-op on the same input channel(s) is redundant — the
+// member's output channel already carries exactly the tuples the newcomer
+// would produce. Consumers move onto that (warm) member port and the
+// newcomer is removed. This is what makes a re-added query converge onto the
+// shared plan a restart would build.
+int MemberCse(Plan* plan) {
+  int merges = 0;
+  std::vector<MopId> live = plan->LiveMops();
+  for (MopId id : live) {
+    if (!plan->IsLive(id)) continue;
+    const Mop& m = plan->mop(id);
+    if (m.num_members() != 1 || m.num_outputs() != 1) continue;
+    MopType shared_type;
+    switch (m.type()) {
+      case MopType::kSelection: shared_type = MopType::kPredicateIndex; break;
+      case MopType::kAggregate: shared_type = MopType::kSharedAggregate; break;
+      case MopType::kJoin: shared_type = MopType::kSharedJoin; break;
+      default: continue;
+    }
+    for (MopId tid : live) {
+      if (tid == id || !plan->IsLive(tid)) continue;
+      const Mop& t = plan->mop(tid);
+      if (t.type() != shared_type || t.num_members() < 2 ||
+          t.num_outputs() != t.num_members()) {
+        continue;  // only per-member-ports merged targets
+      }
+      // Same wiring on every input port.
+      bool same_inputs = t.num_inputs() == m.num_inputs();
+      for (int p = 0; same_inputs && p < m.num_inputs(); ++p) {
+        same_inputs = plan->input_channel(tid, p) == plan->input_channel(id, p);
+      }
+      if (!same_inputs) continue;
+      int match = -1;
+      for (int i = 0; i < t.num_members() && match < 0; ++i) {
+        if (t.MemberSignature(i) != m.MemberSignature(0)) continue;
+        switch (shared_type) {
+          case MopType::kPredicateIndex:
+            if (static_cast<const SelectionMop&>(m).member(0).input_slot == 0) {
+              match = i;
+            }
+            break;
+          case MopType::kSharedAggregate: {
+            const auto& target = static_cast<const AggregateMop&>(t);
+            const auto& fresh = static_cast<const AggregateMop&>(m);
+            if (target.member(i).input_slot == fresh.member(0).input_slot &&
+                target.member_active(i)) {
+              match = i;
+            }
+            break;
+          }
+          case MopType::kSharedJoin: {
+            const auto& target = static_cast<const JoinMop&>(t);
+            const auto& fresh = static_cast<const JoinMop&>(m);
+            if (target.member(i).left_slot == fresh.member(0).left_slot &&
+                target.member(i).right_slot == fresh.member(0).right_slot) {
+              match = i;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      if (match < 0) continue;
+      ChannelId fresh_out = plan->output_channel(id, 0);
+      ChannelId member_out = plan->output_channel(tid, match);
+      StreamId fresh_stream = plan->channel(fresh_out).stream_at(0);
+      StreamId member_stream = plan->channel(member_out).stream_at(0);
+      plan->MoveConsumers(fresh_out, member_out);
+      plan->RemapOutput(fresh_stream, member_stream);
+      plan->RemoveMop(id);
+      ++merges;
+      break;
+    }
+  }
+  return merges;
+}
+
+// sσ attach: single-member selections whose input stream already carries a
+// warm predicate index join it as new members (stateless, so nothing to
+// preserve beyond wiring). Keeps the invariant that no single-member
+// selection coexists with an index on the same channel.
+int AttachSelections(Plan* plan) {
+  std::unordered_map<ChannelId, MopId> index_by_input;
+  for (MopId id : plan->LiveMops()) {
+    const Mop& m = plan->mop(id);
+    if (m.type() != MopType::kPredicateIndex) continue;
+    const auto& index = static_cast<const PredicateIndexMop&>(m);
+    if (index.output_mode() != OutputMode::kPerMemberPorts) continue;
+    index_by_input.emplace(plan->input_channel(id, 0), id);
+  }
+  if (index_by_input.empty()) return 0;
+  int attached = 0;
+  for (MopId id : plan->LiveMops()) {
+    const Mop& m = plan->mop(id);
+    if (m.type() != MopType::kSelection || m.num_members() != 1 ||
+        m.num_outputs() != 1) {
+      continue;
+    }
+    const auto& sel = static_cast<const SelectionMop&>(m);
+    if (sel.member(0).input_slot != 0) continue;
+    auto it = index_by_input.find(plan->input_channel(id, 0));
+    if (it == index_by_input.end() || it->second == id) continue;
+    ChannelId out = plan->output_channel(id, 0);
+    auto& index = static_cast<PredicateIndexMop&>(plan->mop(it->second));
+    index.AddMember(sel.member(0).def);
+    plan->AddMopOutputPort(it->second, out);
+    plan->RemoveMop(id);
+    ++attached;
+  }
+  return attached;
+}
+
+// sα attach: a lone isolated aggregate joins a warm shared-aggregation
+// target (or another lone aggregate, converting it in place) on the same
+// input channel with the same fn/attr. The joining member's state is
+// backfilled from the target's retained entry log.
+int AttachAggregates(Plan* plan) {
+  auto key_of = [plan](MopId id, const AggregateMop& agg) {
+    uint64_t key = Mix64(static_cast<uint64_t>(plan->input_channel(id, 0)));
+    key = HashCombine(key, static_cast<uint64_t>(agg.member(0).spec.fn));
+    key = HashCombine(key, static_cast<uint64_t>(agg.member(0).spec.attr));
+    key = HashCombine(key,
+                      static_cast<uint64_t>(agg.member(0).input_slot));
+    return key;
+  };
+  // Oldest candidate target per key (oldest = warmest).
+  std::unordered_map<uint64_t, MopId> target_by_key;
+  for (MopId id : plan->LiveMops()) {
+    const Mop& m = plan->mop(id);
+    if (m.type() != MopType::kAggregate &&
+        m.type() != MopType::kSharedAggregate) {
+      continue;
+    }
+    const auto& agg = static_cast<const AggregateMop&>(m);
+    if (agg.output_mode() != OutputMode::kPerMemberPorts) continue;
+    if (agg.sharing() == AggregateMop::Sharing::kIsolated &&
+        agg.num_members() != 1) {
+      continue;
+    }
+    target_by_key.emplace(key_of(id, agg), id);
+  }
+  int attached = 0;
+  for (MopId id : plan->LiveMops()) {
+    const Mop& m = plan->mop(id);
+    if (m.type() != MopType::kAggregate || m.num_members() != 1 ||
+        m.num_outputs() != 1) {
+      continue;
+    }
+    const auto& agg = static_cast<const AggregateMop&>(m);
+    if (agg.sharing() != AggregateMop::Sharing::kIsolated) continue;
+    auto it = target_by_key.find(key_of(id, agg));
+    if (it == target_by_key.end() || it->second == id) continue;
+    auto& target = static_cast<AggregateMop&>(plan->mop(it->second));
+    if (!target.CanAttach(agg.member(0))) continue;
+    ChannelId out = plan->output_channel(id, 0);
+    AggregateMop::AttachResult res = target.AttachMember(agg.member(0));
+    if (res.reused_slot) {
+      // The reactivated slot keeps its port and channel; route the new
+      // query's consumers and output mark onto them.
+      ChannelId slot_out = plan->output_channel(it->second, res.member);
+      StreamId fresh_stream = plan->channel(out).stream_at(0);
+      StreamId slot_stream = plan->channel(slot_out).stream_at(0);
+      plan->MoveConsumers(out, slot_out);
+      plan->RemapOutput(fresh_stream, slot_stream);
+    } else {
+      plan->AddMopOutputPort(it->second, out);
+    }
+    plan->RemoveMop(id);
+    ++attached;
+  }
+  return attached;
+}
+
+// Channels on the reverse-reachability closure of the surviving query
+// outputs (a channel is needed iff it carries an output stream or feeds a
+// needed m-op).
+std::vector<char> NeededChannels(const Plan& plan) {
+  std::vector<char> chan_needed(plan.num_channels(), 0);
+  std::vector<char> mop_needed(plan.num_mops(), 0);
+  std::vector<ChannelId> worklist;
+  for (const Plan::OutputDef& def : plan.outputs()) {
+    for (ChannelId c = 0; c < plan.num_channels(); ++c) {
+      if (plan.channel_dead(c) || chan_needed[c]) continue;
+      if (plan.channel(c).SlotOf(def.stream).has_value()) {
+        chan_needed[c] = 1;
+        worklist.push_back(c);
+      }
+    }
+  }
+  while (!worklist.empty()) {
+    ChannelId c = worklist.back();
+    worklist.pop_back();
+    std::optional<ChannelEnd> producer = plan.ProducerOf(c);
+    if (!producer.has_value() || mop_needed[producer->mop]) continue;
+    mop_needed[producer->mop] = 1;
+    for (ChannelId in : plan.input_channels(producer->mop)) {
+      if (in != kInvalidChannel && !chan_needed[in]) {
+        chan_needed[in] = 1;
+        worklist.push_back(in);
+      }
+    }
+  }
+  return chan_needed;
+}
+
+}  // namespace
+
+std::string IncrementalMergeStats::ToString() const {
+  std::ostringstream os;
+  os << "IncrementalMergeStats{cse=" << cse_merges
+     << " attach=" << attach_merges << " rules=" << rule_merges << "}";
+  return os.str();
+}
+
+std::string PruneStats::ToString() const {
+  std::ostringstream os;
+  os << "PruneStats{mops=" << removed_mops
+     << " index_members=" << pruned_index_members
+     << " deactivated=" << deactivated_members
+     << " channels=" << collected_channels << "}";
+  return os.str();
+}
+
+IncrementalMergeStats MergeNewQuery(Plan* plan,
+                                    const OptimizerOptions& options) {
+  IncrementalMergeStats stats;
+  // The rules applied here do not consult the ~ analysis (CSE and sσ match
+  // on exact channel identity), so no whole-plan recomputation is paid on a
+  // live add; rules that do need it (ChannelRule) CHECK against null and
+  // are deliberately not applied incrementally.
+  const SharableAnalysis* sharable = nullptr;
+  // Fixpoint: merging an upstream m-op rewires its consumers onto warm
+  // channels, which can expose downstream merges (e.g. a σ snapping onto an
+  // index member lets the α above it join the shared engine next round).
+  for (int round = 0; round < options.max_rounds; ++round) {
+    int round_merges = 0;
+    if (options.enable_cse) {
+      int n = CseRule().ApplyAll(plan, sharable) + MemberCse(plan);
+      stats.cse_merges += n;
+      round_merges += n;
+    }
+    if (options.enable_predicate_index) {
+      int attached = AttachSelections(plan);
+      int ruled = PredicateIndexRule().ApplyAll(plan, sharable);
+      stats.attach_merges += attached;
+      stats.rule_merges += ruled;
+      round_merges += attached + ruled;
+    }
+    if (options.enable_shared_aggregate) {
+      int attached = AttachAggregates(plan);
+      stats.attach_merges += attached;
+      round_merges += attached;
+    }
+    if (round_merges == 0) break;
+  }
+  return stats;
+}
+
+PruneStats PruneUnreachable(Plan* plan) {
+  PruneStats stats;
+  // Operator-level teardown: reference count zero = no surviving query
+  // output depends on the m-op.
+  std::vector<int> refs = plan->QueryRefCounts();
+  for (MopId id : plan->LiveMops()) {
+    if (refs[id] == 0) {
+      plan->RemoveMop(id);
+      ++stats.removed_mops;
+    }
+  }
+
+  // Member-level teardown on surviving shared m-ops.
+  std::vector<char> needed = NeededChannels(*plan);
+  std::vector<MopId> index_rebuilds;
+  for (MopId id : plan->LiveMops()) {
+    Mop& m = plan->mop(id);
+    if (m.type() == MopType::kPredicateIndex) {
+      const auto& index = static_cast<const PredicateIndexMop&>(m);
+      if (index.output_mode() != OutputMode::kPerMemberPorts) continue;
+      bool all_needed = true;
+      for (int i = 0; i < index.num_members(); ++i) {
+        all_needed &= needed[plan->output_channel(id, i)] != 0;
+      }
+      if (!all_needed) index_rebuilds.push_back(id);
+    } else if (m.type() == MopType::kSharedAggregate ||
+               m.type() == MopType::kFragmentAggregate) {
+      auto& agg = static_cast<AggregateMop&>(m);
+      if (agg.output_mode() != OutputMode::kPerMemberPorts) continue;
+      for (int i = 0; i < agg.num_members(); ++i) {
+        if (!needed[plan->output_channel(id, i)] && agg.member_active(i)) {
+          agg.DeactivateMember(i);
+          ++stats.deactivated_members;
+        }
+      }
+    }
+  }
+  // Predicate indexes are stateless: rebuild them without the members no
+  // surviving query reads.
+  for (MopId id : index_rebuilds) {
+    const auto& index = static_cast<const PredicateIndexMop&>(plan->mop(id));
+    std::vector<SelectionDef> defs;
+    std::vector<ChannelId> outs;
+    for (int i = 0; i < index.num_members(); ++i) {
+      ChannelId out = plan->output_channel(id, i);
+      if (!needed[out]) {
+        ++stats.pruned_index_members;
+        continue;
+      }
+      defs.push_back(index.member(i));
+      outs.push_back(out);
+    }
+    RUMOR_CHECK(!defs.empty()) << "fully unused index should have ref 0";
+    ChannelId input = plan->input_channel(id, 0);
+    MopId rebuilt = plan->AddMop(std::make_unique<PredicateIndexMop>(
+        std::move(defs), OutputMode::kPerMemberPorts));
+    plan->BindInput(rebuilt, 0, input);
+    for (size_t i = 0; i < outs.size(); ++i) {
+      plan->BindOutput(rebuilt, static_cast<int>(i), outs[i]);
+    }
+    plan->RemoveMop(id);
+  }
+
+  stats.collected_channels = plan->GcOrphanChannels();
+  return stats;
+}
+
+}  // namespace rumor

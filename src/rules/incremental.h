@@ -1,0 +1,72 @@
+// Incremental m-rule application for online query churn (paper §2.3, §7):
+// because m-rules are local condition/action pairs, a freshly compiled query
+// can be merged into an already-optimized *running* plan without re-searching
+// the whole space — and, crucially, without disturbing the state of warm
+// shared operators.
+//
+// MergeNewQuery runs the state-preserving subset of the rule catalogue after
+// new m-ops were compiled into a live plan:
+//   * CSE — a new m-op identical to an existing one (same definition, same
+//     input channels) is absorbed by it; the existing m-op always wins, so
+//     the new query inherits its warm state (window contents, join buffers).
+//   * sσ attach — a new selection snaps onto an existing predicate-index
+//     m-op on the same stream (selections are stateless; always safe).
+//   * sσ — leftover single selections form new predicate indexes.
+//   * sα attach — a new aggregate joins an existing shared-aggregation
+//     engine on the same stream with the same fn/attr (windows and group-bys
+//     may differ); its state is backfilled from the engine's retained log,
+//     so it starts warm up to the log's retention horizon.
+//
+// The c-family rules are *not* applied incrementally: they rebuild producers
+// in channel-output mode, which would discard warm operator state. The s⋈
+// rule is likewise skipped live (merging would re-create join state). New
+// queries that would only share through those rules run unshared — correct,
+// just less shared than a restart would be.
+//
+// PruneUnreachable implements the removal half: reference counts (number of
+// surviving query outputs reaching each m-op, Plan::QueryRefCounts) drive
+// teardown of exactly the operators no surviving query reaches, stateless
+// shared m-ops drop the members only removed queries used, shared
+// aggregation engines deactivate theirs, and orphaned channels are
+// garbage-collected.
+#ifndef RUMOR_RULES_INCREMENTAL_H_
+#define RUMOR_RULES_INCREMENTAL_H_
+
+#include <string>
+
+#include "plan/plan.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+
+struct IncrementalMergeStats {
+  int cse_merges = 0;     // new m-ops absorbed by identical warm m-ops
+  int attach_merges = 0;  // members attached to warm sσ/sα targets
+  int rule_merges = 0;    // stateless rule merges among leftover m-ops
+
+  int total() const { return cse_merges + attach_merges + rule_merges; }
+  std::string ToString() const;
+};
+
+// Merges newly compiled m-ops into the live plan (see file comment). Safe to
+// run on a plan whose m-ops hold runtime state; existing operators keep
+// their state and their output wiring.
+IncrementalMergeStats MergeNewQuery(Plan* plan,
+                                    const OptimizerOptions& options);
+
+struct PruneStats {
+  int removed_mops = 0;          // m-ops no surviving query reaches
+  int pruned_index_members = 0;  // members dropped from stateless sσ targets
+  int deactivated_members = 0;   // shared-aggregate members deactivated
+  int collected_channels = 0;    // channels garbage-collected
+
+  std::string ToString() const;
+};
+
+// Tears down everything no surviving query output reaches. Call after
+// Plan::UnmarkOutput removed a query's output mark.
+PruneStats PruneUnreachable(Plan* plan);
+
+}  // namespace rumor
+
+#endif  // RUMOR_RULES_INCREMENTAL_H_

@@ -69,6 +69,10 @@ std::unique_ptr<Mop> CloneWithOutputMode(const Mop& mop, OutputMode mode) {
       return std::make_unique<SequenceMop>(std::move(members), m.sharing(),
                                            mode);
     }
+    case MopType::kZip:
+      // Zips have a single output port and thus never become channel-rule
+      // producers; fall through to the unsupported check.
+      break;
     case MopType::kIterate:
     case MopType::kSharedIterate:
     case MopType::kChannelIterate: {
@@ -88,7 +92,7 @@ std::unique_ptr<Mop> CloneWithOutputMode(const Mop& mop, OutputMode mode) {
 // merging (rules s; and sµ in Table 1; §4.3 of the paper shows the
 // correspondence). The kept m-op's output channel absorbs the duplicates'
 // consumers; duplicate output streams are remapped for query-output marks.
-int CseRule::ApplyAll(Plan* plan, const SharableAnalysis&) {
+int CseRule::ApplyAll(Plan* plan, const SharableAnalysis*) {
   int merges = 0;
   bool progress = true;
   // Deduping can make parents identical; iterate to the fixpoint (this is

@@ -32,38 +32,40 @@ class MRule {
   virtual std::string name() const = 0;
   // One full pass: evaluates the condition over the current plan (all
   // candidate groups) and applies the action to each qualifying group.
-  // Returns the number of merges performed.
-  virtual int ApplyAll(Plan* plan, const SharableAnalysis& sharable) = 0;
+  // Returns the number of merges performed. `sharable` may be null for
+  // rules that do not consult the ~ relation (they match on exact channel
+  // identity); rules that need it must CHECK it is present.
+  virtual int ApplyAll(Plan* plan, const SharableAnalysis* sharable) = 0;
 };
 
 class CseRule : public MRule {
  public:
   std::string name() const override { return "cse(s;/sµ)"; }
-  int ApplyAll(Plan* plan, const SharableAnalysis& sharable) override;
+  int ApplyAll(Plan* plan, const SharableAnalysis* sharable) override;
 };
 
 class PredicateIndexRule : public MRule {
  public:
   std::string name() const override { return "sσ"; }
-  int ApplyAll(Plan* plan, const SharableAnalysis& sharable) override;
+  int ApplyAll(Plan* plan, const SharableAnalysis* sharable) override;
 };
 
 class SharedAggregateRule : public MRule {
  public:
   std::string name() const override { return "sα"; }
-  int ApplyAll(Plan* plan, const SharableAnalysis& sharable) override;
+  int ApplyAll(Plan* plan, const SharableAnalysis* sharable) override;
 };
 
 class SharedJoinRule : public MRule {
  public:
   std::string name() const override { return "s⋈"; }
-  int ApplyAll(Plan* plan, const SharableAnalysis& sharable) override;
+  int ApplyAll(Plan* plan, const SharableAnalysis* sharable) override;
 };
 
 class ChannelRule : public MRule {
  public:
   std::string name() const override { return "cτ(channels)"; }
-  int ApplyAll(Plan* plan, const SharableAnalysis& sharable) override;
+  int ApplyAll(Plan* plan, const SharableAnalysis* sharable) override;
 };
 
 // Rebuilds an (un-executed) m-op with a different output mode; used when the

@@ -9,7 +9,16 @@ std::string OptimizeStats::ToString() const {
   os << "OptimizeStats{cse=" << cse_merges
      << " sσ=" << predicate_index_merges
      << " sα=" << shared_aggregate_merges << " s⋈=" << shared_join_merges
-     << " c*=" << channel_merges << " rounds=" << rounds << "}";
+     << " c*=" << channel_merges << " rounds=" << rounds;
+  if (dynamic_adds > 0 || dynamic_removes > 0) {
+    os << " adds=" << dynamic_adds << " removes=" << dynamic_removes
+       << " inc_cse=" << incremental_cse_merges
+       << " inc_attach=" << incremental_attach_merges
+       << " inc_rules=" << incremental_rule_merges
+       << " pruned_mops=" << pruned_mops
+       << " pruned_members=" << pruned_members;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -19,9 +28,14 @@ std::vector<int> RuleEngine::Run(Plan* plan, const SharableAnalysis& sharable,
   for (int round = 0; round < max_rounds; ++round) {
     int round_merges = 0;
     for (size_t i = 0; i < rules_.size(); ++i) {
-      int n = rules_[i]->ApplyAll(plan, sharable);
+      int n = rules_[i]->ApplyAll(plan, &sharable);
       merges[i] += n;
       round_merges += n;
+#ifndef NDEBUG
+      // Every rule application must leave the plan consistent (fully bound
+      // ports, single producers, acyclic, no dead-channel wiring).
+      if (n > 0) plan->Validate();
+#endif
     }
     if (round_merges == 0) break;
   }

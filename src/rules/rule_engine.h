@@ -39,9 +39,30 @@ struct OptimizeStats {
   int channel_merges = 0;
   int rounds = 0;
 
+  // --- online query churn (after Start) --------------------------------------
+  // Queries added to / removed from the running engine.
+  int dynamic_adds = 0;
+  int dynamic_removes = 0;
+  // Merges performed by the incremental passes during live adds: new m-ops
+  // absorbed by identical warm m-ops or existing shared members (CSE),
+  // members attached to warm sσ/sα targets, and stateless rule merges among
+  // the leftovers.
+  int incremental_cse_merges = 0;
+  int incremental_attach_merges = 0;
+  int incremental_rule_merges = 0;
+  // Teardown work performed by RemoveQuery unsharing.
+  int pruned_mops = 0;
+  int pruned_members = 0;
+
+  // Merges performed at Start() (the static optimization pass).
   int total() const {
     return cse_merges + predicate_index_merges + shared_aggregate_merges +
            shared_join_merges + channel_merges;
+  }
+  // Merges performed by live adds after Start().
+  int incremental_total() const {
+    return incremental_cse_merges + incremental_attach_merges +
+           incremental_rule_merges;
   }
   std::string ToString() const;
 };

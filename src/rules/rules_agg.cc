@@ -10,7 +10,7 @@ namespace rumor {
 // stream with the same aggregate function and attribute — but possibly
 // different group-by specifications and window lengths — share one entry
 // log with per-member cursors. Members keep their original output channels.
-int SharedAggregateRule::ApplyAll(Plan* plan, const SharableAnalysis&) {
+int SharedAggregateRule::ApplyAll(Plan* plan, const SharableAnalysis*) {
   std::unordered_map<uint64_t, std::vector<MopId>> groups;
   for (MopId id : plan->LiveMops()) {
     const Mop& m = plan->mop(id);

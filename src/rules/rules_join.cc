@@ -10,7 +10,7 @@ namespace rumor {
 // streams with the same join predicate but potentially different window
 // lengths share one join state; matches are routed per member by window
 // coverage. Members keep their original output channels.
-int SharedJoinRule::ApplyAll(Plan* plan, const SharableAnalysis&) {
+int SharedJoinRule::ApplyAll(Plan* plan, const SharableAnalysis*) {
   std::unordered_map<uint64_t, std::vector<MopId>> groups;
   for (MopId id : plan->LiveMops()) {
     const Mop& m = plan->mop(id);

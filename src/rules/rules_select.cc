@@ -13,7 +13,7 @@ namespace rumor {
 // paper's §5.3 workload relies on this for non-indexable starting
 // conditions). Each member keeps its original output channel, so consumers
 // are untouched.
-int PredicateIndexRule::ApplyAll(Plan* plan, const SharableAnalysis&) {
+int PredicateIndexRule::ApplyAll(Plan* plan, const SharableAnalysis*) {
   std::unordered_map<ChannelId, std::vector<MopId>> by_input;
   for (MopId id : plan->LiveMops()) {
     const Mop& m = plan->mop(id);

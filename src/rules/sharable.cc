@@ -15,7 +15,22 @@ constexpr uint64_t kTagOperator = 0x2ee1;
 
 SharableAnalysis::SharableAnalysis(const Plan& plan)
     : signatures_(plan.streams().size(), 0),
-      computing_(plan.streams().size(), false) {
+      computing_(plan.streams().size(), false),
+      producer_mop_(plan.num_channels(), kInvalidMop),
+      channel_of_(plan.streams().size(), kInvalidChannel) {
+  for (int m = 0; m < plan.num_mops(); ++m) {
+    if (!plan.IsLive(m)) continue;
+    for (ChannelId c : plan.output_channels(m)) {
+      if (c != kInvalidChannel) producer_mop_[c] = m;
+    }
+  }
+  for (ChannelId c = 0; c < plan.num_channels(); ++c) {
+    if (plan.channel(c).capacity() != 1 || producer_mop_[c] == kInvalidMop) {
+      continue;
+    }
+    StreamId s = plan.channel(c).stream_at(0);
+    if (channel_of_[s] == kInvalidChannel) channel_of_[s] = c;
+  }
   for (StreamId s = 0; s < plan.streams().size(); ++s) {
     Compute(plan, s);
   }
@@ -45,26 +60,22 @@ uint64_t SharableAnalysis::Compute(const Plan& plan, StreamId stream) {
               : HashCombine(Mix64(kTagUniqueSource),
                             static_cast<uint64_t>(stream));
   } else {
-    // Find the producing (mop, port). Derived streams in a compiled plan
-    // live in exactly one capacity-1 channel with one producer.
-    std::optional<ChannelEnd> producer;
-    for (ChannelId c = 0; c < plan.num_channels() && !producer; ++c) {
-      if (plan.channel(c).capacity() == 1 &&
-          plan.channel(c).stream_at(0) == stream) {
-        producer = plan.ProducerOf(c);
-      }
-    }
-    if (!producer.has_value()) {
+    // The producing m-op. Derived streams in a compiled plan live in
+    // exactly one capacity-1 channel with one producer (precomputed).
+    ChannelId channel = channel_of_[stream];
+    MopId producer = channel == kInvalidChannel ? kInvalidMop
+                                                : producer_mop_[channel];
+    if (producer == kInvalidMop) {
       // Unconnected derived stream: unique signature.
       sig = HashCombine(Mix64(kTagUniqueSource),
                         static_cast<uint64_t>(stream) ^ 0xdead);
     } else {
-      const Mop& mop = plan.mop(producer->mop);
+      const Mop& mop = plan.mop(producer);
       // Selection transparency: σ(T) ~ T.
       if (mop.type() == MopType::kSelection ||
           mop.type() == MopType::kPredicateIndex ||
           mop.type() == MopType::kChannelSelect) {
-        ChannelId in = plan.input_channel(producer->mop, 0);
+        ChannelId in = plan.input_channel(producer, 0);
         // In a compiled plan selection inputs are capacity-1.
         sig = Compute(plan, plan.channel(in).stream_at(0));
       } else {
@@ -72,7 +83,7 @@ uint64_t SharableAnalysis::Compute(const Plan& plan, StreamId stream) {
         h = HashCombine(h, static_cast<uint64_t>(mop.type()));
         h = HashCombine(h, mop.MemberSignature(0));
         for (int p = 0; p < mop.num_inputs(); ++p) {
-          ChannelId in = plan.input_channel(producer->mop, p);
+          ChannelId in = plan.input_channel(producer, p);
           h = HashCombine(h, Compute(plan, plan.channel(in).stream_at(0)));
         }
         sig = h;

@@ -48,6 +48,11 @@ class SharableAnalysis {
 
   std::vector<uint64_t> signatures_;  // by stream id; 0 = not yet computed
   std::vector<bool> computing_;       // cycle guard (plans are DAGs)
+  // Construction-time lookup tables (one pass over the plan instead of a
+  // channel scan per stream): producing m-op by channel, and the first
+  // produced capacity-1 channel carrying each stream.
+  std::vector<MopId> producer_mop_;        // by channel id; kInvalidMop
+  std::vector<ChannelId> channel_of_;      // by stream id; kInvalidChannel
 };
 
 }  // namespace rumor

@@ -54,6 +54,13 @@ class StreamRegistry {
   // Source stream by name.
   std::optional<StreamId> FindSource(const std::string& name) const;
 
+  // Drops every stream registered after the first `n` (rollback of a failed
+  // live-plan compilation; ids are dense, so only a suffix can go).
+  void TruncateTo(int n) {
+    RUMOR_CHECK(n >= 0 && n <= size());
+    streams_.resize(n);
+  }
+
   // All source stream ids.
   std::vector<StreamId> Sources() const;
 

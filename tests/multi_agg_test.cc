@@ -1,0 +1,140 @@
+// Multiple aggregates in one SELECT (satellite of the dynamic-MQO work):
+// the parser compiles N aggregates over the same window/group-by into N
+// single-aggregate operators zipped back into one row, so the sα/cα sharing
+// rules keep applying to each aggregate individually.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/stream_engine.h"
+
+namespace rumor {
+namespace {
+
+Schema CpuSchema() {
+  return Schema({{"pid", ValueType::kInt}, {"load", ValueType::kInt}});
+}
+
+std::vector<Tuple> Workload() {
+  std::vector<Tuple> tuples;
+  int64_t loads[] = {10, 90, 40, 70, 20, 60, 80, 30};
+  for (int i = 0; i < 8; ++i) {
+    tuples.push_back(Tuple::MakeInts({i % 2, loads[i]}, i));
+  }
+  return tuples;
+}
+
+TEST(MultiAggTest, MatchesSeparateSingleAggregateQueries) {
+  // One multi-aggregate query ...
+  StreamEngine multi;
+  ASSERT_TRUE(multi.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(multi
+                  .AddQueryText(
+                      "SELECT pid, AVG(load), MAX(load) FROM CPU [RANGE 4] "
+                      "GROUP BY pid",
+                      "M")
+                  .ok());
+  std::vector<Tuple> rows;
+  multi.SetOutputHandler(
+      [&](const std::string&, const Tuple& t) { rows.push_back(t); });
+  ASSERT_TRUE(multi.Start().ok());
+
+  // ... against the same aggregates as two separate queries.
+  StreamEngine split;
+  ASSERT_TRUE(split.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(split
+                  .AddQueryText(
+                      "SELECT pid, AVG(load) FROM CPU [RANGE 4] GROUP BY pid",
+                      "A")
+                  .ok());
+  ASSERT_TRUE(split
+                  .AddQueryText(
+                      "SELECT pid, MAX(load) FROM CPU [RANGE 4] GROUP BY pid",
+                      "B")
+                  .ok());
+  std::map<std::string, std::vector<Tuple>> split_rows;
+  split.SetOutputHandler([&](const std::string& q, const Tuple& t) {
+    split_rows[q].push_back(t);
+  });
+  ASSERT_TRUE(split.Start().ok());
+
+  for (const Tuple& t : Workload()) {
+    ASSERT_TRUE(multi.Push("CPU", t).ok());
+    ASSERT_TRUE(split.Push("CPU", t).ok());
+  }
+
+  ASSERT_EQ(rows.size(), 8u);
+  ASSERT_EQ(split_rows["A"].size(), 8u);
+  ASSERT_EQ(split_rows["B"].size(), 8u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].size(), 3);
+    EXPECT_EQ(rows[i].at(0), split_rows["A"][i].at(0)) << "row " << i;
+    EXPECT_EQ(rows[i].at(1), split_rows["A"][i].at(1)) << "row " << i;
+    EXPECT_EQ(rows[i].at(2), split_rows["B"][i].at(1)) << "row " << i;
+    EXPECT_EQ(rows[i].ts(), split_rows["A"][i].ts()) << "row " << i;
+  }
+}
+
+TEST(MultiAggTest, CountSumMinWithoutGroupBy) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(engine
+                  .AddQueryText(
+                      "SELECT COUNT(*), SUM(load), MIN(load) FROM CPU "
+                      "[RANGE 100]",
+                      "M")
+                  .ok());
+  std::vector<Tuple> rows;
+  engine.SetOutputHandler(
+      [&](const std::string&, const Tuple& t) { rows.push_back(t); });
+  ASSERT_TRUE(engine.Start().ok());
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({1, 30}, 0)).ok());
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({2, 10}, 1)).ok());
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({3, 20}, 2)).ok());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2].at(0).AsInt(), 3);  // COUNT
+  EXPECT_EQ(rows[2].at(1).AsInt(), 60);  // SUM
+  EXPECT_EQ(rows[2].at(2).AsInt(), 10);  // MIN
+}
+
+TEST(MultiAggTest, IdenticalAggregatesShareOneOperator) {
+  // Two identical AVG items: CSE collapses the two aggregate m-ops; the zip
+  // then pairs the shared channel with itself.
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(engine
+                  .AddQueryText(
+                      "SELECT AVG(load), AVG(load) FROM CPU [RANGE 10]", "M")
+                  .ok());
+  std::vector<Tuple> rows;
+  engine.SetOutputHandler(
+      [&](const std::string&, const Tuple& t) { rows.push_back(t); });
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_GE(engine.optimize_stats().cse_merges, 1);
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({1, 10}, 0)).ok());
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({1, 20}, 1)).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].at(0), rows[1].at(1));
+  EXPECT_DOUBLE_EQ(rows[1].at(0).AsDouble(), 15.0);
+}
+
+TEST(MultiAggTest, DownstreamQueryReadsMultiAggColumns) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(engine
+                  .AddScript(
+                      "STATS: SELECT pid, AVG(load), MAX(load) FROM CPU "
+                      "[RANGE 10] GROUP BY pid;"
+                      "SPIKY: SELECT * FROM STATS WHERE max_load > 80;")
+                  .ok());
+  ASSERT_TRUE(engine.Start().ok());
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({1, 50}, 0)).ok());
+  ASSERT_TRUE(engine.Push("CPU", Tuple::MakeInts({1, 90}, 1)).ok());
+  EXPECT_EQ(engine.OutputCount("STATS"), 2);
+  EXPECT_EQ(engine.OutputCount("SPIKY"), 1);
+}
+
+}  // namespace
+}  // namespace rumor

@@ -128,7 +128,7 @@ TEST(RuleOrderTest, CustomRuleRegistration) {
    public:
     explicit CountingRule(int* counter) : counter_(counter) {}
     std::string name() const override { return "counting"; }
-    int ApplyAll(Plan*, const SharableAnalysis&) override {
+    int ApplyAll(Plan*, const SharableAnalysis*) override {
       ++*counter_;
       return 0;  // never merges => engine terminates after one round
     }

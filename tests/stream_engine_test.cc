@@ -98,16 +98,26 @@ TEST(StreamEngineTest, ErrorsAreSurfaced) {
 
 TEST(StreamEngineTest, LifecycleGuards) {
   StreamEngine engine;
+  EXPECT_EQ(engine.state(), StreamEngine::State::kConfiguring);
   ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
   ASSERT_TRUE(engine.AddQueryText("SELECT * FROM CPU", "Q").ok());
   ASSERT_TRUE(engine.Start().ok());
-  // No mutations after Start.
-  EXPECT_FALSE(engine.RegisterSource("X", CpuSchema()).ok());
-  EXPECT_FALSE(engine.AddQueryText("SELECT * FROM CPU", "Z").ok());
+  EXPECT_EQ(engine.state(), StreamEngine::State::kRunning);
+  // The query set is dynamic: adds stay legal on a running engine (new
+  // sources too), but duplicate names and double Start are rejected.
+  EXPECT_TRUE(engine.RegisterSource("X", CpuSchema()).ok());
+  EXPECT_TRUE(engine.AddQueryText("SELECT * FROM CPU", "Z").ok());
+  EXPECT_EQ(engine.AddQueryText("SELECT * FROM CPU", "Z").code(),
+            StatusCode::kAlreadyExists);
   EXPECT_FALSE(engine.Start().ok());
+  EXPECT_EQ(engine.num_queries(), 2);
   // Pushing to an unconsumed source name fails cleanly.
   EXPECT_EQ(engine.Push("GONE", Tuple::MakeInts({0, 0}, 0)).code(),
             StatusCode::kNotFound);
+  // Removing an unknown query fails cleanly; removing a live one works.
+  EXPECT_EQ(engine.RemoveQuery("NOPE").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(engine.RemoveQuery("Z").ok());
+  EXPECT_EQ(engine.num_queries(), 1);
 }
 
 TEST(StreamEngineTest, HybridScriptEndToEnd) {
