@@ -1,0 +1,154 @@
+// Hot-data-plane benchmark: a fig9-style predicate-index workload (N
+// selection queries σ(a0 = c AND a1 <= r) over one source stream, merged by
+// rule sσ into a single predicate-index m-op) pushed at several batch sizes.
+//
+// Sweeps dispatch batch size × data-plane mode:
+//   * legacy     — vectorized predicate evaluation and the flat int-key
+//                  probe disabled (Value-boxed Program::Eval + the
+//                  unordered_map<Value, ...> index probe), i.e. the shape of
+//                  the pre-compaction evaluation path;
+//   * vectorized — typed int-register / fused-comparison evaluation + flat
+//                  open-addressing int-key index probes (the default).
+//
+// Prints a table and writes BENCH_hotpath.json. Speedups are relative to the
+// pre-PR main baseline recorded in kBaselineMain below (measured at commit
+// 291d691 on the same machine, workload, and scale), which also carried the
+// untoggleable costs this PR removed: shared_ptr<vector<Value>> tuple
+// payloads (two allocations + atomic refcounts per tuple), a 48-byte
+// string-bearing Value, per-event heap-allocated membership bit vectors, and
+// per-emission task staging for consumer-less output channels.
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/figure_common.h"
+#include "mop/predicate_index_mop.h"
+#include "query/builder.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+namespace {
+
+constexpr int64_t kBatches[] = {1, 16, 64, 256, 1024};
+
+// events/sec of pre-PR main (commit 291d691) on this workload at quick
+// scale, event-at-a-time for batch 1 and PushSourceBatch otherwise; best of
+// several repetitions.
+constexpr double kBaselineMain[] = {4250376, 4657686, 4688293, 4742070,
+                                    4807844};
+
+struct Cell {
+  const char* mode;
+  int64_t batch;  // 1 = event-at-a-time
+  double events_per_sec = 0;
+  int64_t outputs = 0;
+};
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  const int num_queries = 100;
+  const int64_t domain = 50;
+  const int64_t num_events = scale.full ? 1000000 : 300000;
+  const int64_t tiny = []() {
+    const char* env = std::getenv("RUMOR_BENCH_TINY");
+    return env != nullptr ? std::atoll(env) : int64_t{0};
+  }();
+
+  Schema schema = Schema::MakeInts(10);
+  Rng rng(7);
+  std::vector<Query> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    std::string pred = "a0 = " + std::to_string(rng.UniformInt(0, domain - 1)) +
+                       " AND a1 <= " +
+                       std::to_string(rng.UniformInt(0, domain - 1));
+    queries.push_back(QueryBuilder::FromSource("S", schema)
+                          .Select(pred)
+                          .Build("Q" + std::to_string(i)));
+  }
+
+  const int64_t n = tiny > 0 ? tiny : num_events;
+  std::vector<Event> events;
+  events.reserve(n);
+  std::vector<int64_t> attrs(10);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t& a : attrs) a = rng.UniformInt(0, domain - 1);
+    events.push_back(Event{0, Tuple::MakeInts(attrs, i)});
+  }
+  const int64_t warm = tiny > 0 ? 0 : n / 10;
+
+  std::printf("# hotpath — %d σ(a0=c AND a1<=r) queries (sσ-merged), %" PRId64
+              " events, domain %" PRId64 "\n",
+              num_queries, n, domain);
+  std::printf("%-12s %8s %16s %10s\n", "mode", "batch", "events/s",
+              "vs_main");
+
+  std::vector<Cell> cells;
+  for (bool vectorized : {false, true}) {
+    Program::SetVectorizationEnabled(vectorized);
+    PredicateIndexMop::SetFlatProbeEnabled(vectorized);
+    const char* mode = vectorized ? "vectorized" : "legacy";
+    for (size_t b = 0; b < std::size(kBatches); ++b) {
+      const int64_t batch = kBatches[b];
+      Cell cell{mode, batch, 0, 0};
+      const int reps = tiny > 0 ? 1 : 3;
+      for (int rep = 0; rep < reps; ++rep) {
+        RumorRun run = batch == 1
+                           ? RunRumor(queries, OptimizerOptions{}, events,
+                                      warm, {"S"})
+                           : RunRumorBatched(queries, OptimizerOptions{},
+                                             events, warm, batch, {"S"});
+        cell.events_per_sec =
+            std::max(cell.events_per_sec, run.result.EventsPerSecond());
+        cell.outputs = run.result.outputs;
+      }
+      cells.push_back(cell);
+      std::printf("%-12s %8" PRId64 " %16.0f %9.2fx\n", cell.mode,
+                  cell.batch, cell.events_per_sec,
+                  cell.events_per_sec / kBaselineMain[b]);
+    }
+  }
+  Program::SetVectorizationEnabled(true);
+  PredicateIndexMop::SetFlatProbeEnabled(true);
+
+  for (size_t i = 1; i < cells.size(); ++i) {
+    RUMOR_CHECK(cells[i].outputs == cells[0].outputs)
+        << "configurations disagree on output count";
+  }
+
+  FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"hotpath\",\n");
+    std::fprintf(json, "  \"workload\": \"%d sσ-merged selection queries, "
+                       "10-int schema, domain %" PRId64 "\",\n",
+                 num_queries, domain);
+    std::fprintf(json, "  \"events\": %" PRId64 ",\n", n);
+    if (tiny > 0) std::fprintf(json, "  \"tiny\": true,\n");
+    std::fprintf(json,
+                 "  \"baseline\": \"pre-PR main (commit 291d691), same "
+                 "workload and scale\",\n  \"baseline_rows\": [\n");
+    for (size_t b = 0; b < std::size(kBatches); ++b) {
+      std::fprintf(json,
+                   "    {\"batch\": %" PRId64 ", \"events_per_sec\": %.0f}%s\n",
+                   kBatches[b], kBaselineMain[b],
+                   b + 1 < std::size(kBatches) ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"rows\": [\n");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"batch\": %" PRId64
+                   ", \"events_per_sec\": %.0f, \"speedup_vs_main\": %.3f}%s\n",
+                   cells[i].mode, cells[i].batch, cells[i].events_per_sec,
+                   cells[i].events_per_sec /
+                       kBaselineMain[i % std::size(kBatches)],
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("# wrote BENCH_hotpath.json\n");
+  }
+  return 0;
+}

@@ -10,27 +10,36 @@
 namespace rumor {
 
 // Routes output-stream tuples to the per-query handler. One stream may
-// serve several (CSE-merged) queries.
+// serve several (CSE-merged) queries. StreamIds are small and contiguous,
+// so routes live in a dense StreamId-indexed table.
 class StreamEngine::HandlerSink : public OutputSink {
  public:
   void Bind(StreamId stream, std::string query_name) {
-    routes_[stream].push_back(std::move(query_name));
+    if (stream >= static_cast<StreamId>(routes_.size())) {
+      routes_.resize(stream + 1);
+    }
+    // The counter is resolved once here (counts_ nodes are stable), so the
+    // per-output path never hashes the query name.
+    int64_t* counter = &counts_[query_name];
+    routes_[stream].push_back(Route{std::move(query_name), counter});
   }
   // Stops routing to `query_name` (RemoveQuery); delivered counts persist.
   void Unbind(const std::string& query_name) {
-    for (auto& [stream, names] : routes_) {
-      names.erase(std::remove(names.begin(), names.end(), query_name),
-                  names.end());
+    for (std::vector<Route>& routes : routes_) {
+      routes.erase(std::remove_if(routes.begin(), routes.end(),
+                                  [&](const Route& r) {
+                                    return r.name == query_name;
+                                  }),
+                   routes.end());
     }
   }
   void SetHandler(const OutputHandler* handler) { handler_ = handler; }
 
   void OnOutput(StreamId stream, const Tuple& tuple) override {
-    auto it = routes_.find(stream);
-    if (it == routes_.end()) return;
-    for (const std::string& name : it->second) {
-      ++counts_[name];
-      if (handler_ != nullptr && *handler_) (*handler_)(name, tuple);
+    if (stream < 0 || stream >= static_cast<StreamId>(routes_.size())) return;
+    for (const Route& route : routes_[stream]) {
+      ++*route.count;
+      if (handler_ != nullptr && *handler_) (*handler_)(route.name, tuple);
     }
   }
 
@@ -40,7 +49,11 @@ class StreamEngine::HandlerSink : public OutputSink {
   }
 
  private:
-  std::unordered_map<StreamId, std::vector<std::string>> routes_;
+  struct Route {
+    std::string name;
+    int64_t* count;  // into counts_ (node-stable)
+  };
+  std::vector<std::vector<Route>> routes_;  // by StreamId
   std::unordered_map<std::string, int64_t> counts_;
   const OutputHandler* handler_ = nullptr;
 };

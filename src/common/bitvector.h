@@ -3,8 +3,9 @@
 //
 // Memberships are overwhelmingly small (capacity-1 channels everywhere a
 // plain stream flows), and every ChannelTuple hop copies one — so vectors of
-// up to 64 bits are stored inline with no heap allocation; larger vectors
-// spill to a heap array.
+// up to 128 bits are stored inline with no heap allocation (two words cover
+// every workload in the paper's evaluation, including 100-member predicate
+// indexes); larger vectors spill to a heap array.
 #ifndef RUMOR_COMMON_BITVECTOR_H_
 #define RUMOR_COMMON_BITVECTOR_H_
 
@@ -23,7 +24,7 @@ class BitVector {
   BitVector() = default;
   // All-zero vector with `size` addressable bits.
   explicit BitVector(int size) : size_(size) {
-    if (size_ > 64) heap_.assign(num_words(), 0);
+    if (size_ > kInlineBits) heap_.assign(num_words(), 0);
   }
 
   // Vector with exactly bit `index` set, sized to hold it.
@@ -73,19 +74,42 @@ class BitVector {
   // a member and retained entries must widen their membership.
   void Resize(int new_size) {
     if (new_size == size_) return;
-    if (new_size > 64) {
+    if (new_size > kInlineBits) {
       std::vector<uint64_t> grown((new_size + 63) >> 6, 0);
       const uint64_t* w = words();
       const int copy_words =
           std::min(num_words(), static_cast<int>(grown.size()));
       for (int i = 0; i < copy_words; ++i) grown[i] = w[i];
       heap_ = std::move(grown);
-    } else if (size_ > 64) {
-      inline_word_ = heap_.empty() ? 0 : heap_[0];
-      heap_.clear();
+    } else {
+      if (size_ > kInlineBits) {
+        for (int i = 0; i < kInlineWords; ++i) {
+          inline_words_[i] =
+              i < static_cast<int>(heap_.size()) ? heap_[i] : 0;
+        }
+        heap_.clear();
+      }
+      // Zero the inline words past the new extent: ClearPadding only masks
+      // the partial last word, and stale bits beyond it would otherwise
+      // resurrect as phantom members on a later re-grow.
+      for (int i = (new_size + 63) >> 6; i < kInlineWords; ++i) {
+        inline_words_[i] = 0;
+      }
     }
     size_ = new_size;
     ClearPadding();
+  }
+
+  // Re-targets this vector to `new_size` all-zero bits, reusing the heap
+  // buffer's capacity — the recycled-scratch primitive of the batched data
+  // plane (per-batch match masks allocate nothing in the steady state).
+  void AssignZero(int new_size) {
+    if (new_size > kInlineBits) {
+      heap_.assign((new_size + 63) >> 6, 0);
+    } else {
+      for (int i = 0; i < kInlineWords; ++i) inline_words_[i] = 0;
+    }
+    size_ = new_size;
   }
 
   // In-place boolean algebra; operands must have equal size.
@@ -139,10 +163,15 @@ class BitVector {
   std::string ToString() const;
 
  private:
+  static constexpr int kInlineWords = 2;
+  static constexpr int kInlineBits = 64 * kInlineWords;
+
   int num_words() const { return (size_ + 63) >> 6; }
-  uint64_t* words() { return size_ <= 64 ? &inline_word_ : heap_.data(); }
+  uint64_t* words() {
+    return size_ <= kInlineBits ? inline_words_ : heap_.data();
+  }
   const uint64_t* words() const {
-    return size_ <= 64 ? &inline_word_ : heap_.data();
+    return size_ <= kInlineBits ? inline_words_ : heap_.data();
   }
 
   void ClearPadding() {
@@ -153,8 +182,8 @@ class BitVector {
   }
 
   int size_ = 0;
-  uint64_t inline_word_ = 0;       // storage when size_ <= 64
-  std::vector<uint64_t> heap_;     // storage when size_ > 64
+  uint64_t inline_words_[kInlineWords] = {0, 0};  // storage, size_ <= 128
+  std::vector<uint64_t> heap_;                    // storage when size_ > 128
 };
 
 }  // namespace rumor

@@ -1,30 +1,148 @@
 #include "common/tuple.h"
 
+#include <new>
 #include <sstream>
 
 #include "common/hash.h"
 
 namespace rumor {
 
+namespace {
+
+// Thread-exit guard: retires the thread's default arena so pooled blocks are
+// freed deterministically, while blocks still held by longer-lived tuples
+// keep the arena alive until their last release.
+internal::PayloadHeader* NewBlock(uint32_t width, TupleArena* arena) {
+  void* mem = ::operator new(sizeof(internal::PayloadHeader) +
+                             width * sizeof(Value));
+  auto* block = static_cast<internal::PayloadHeader*>(mem);
+  block->refs = 1;
+  block->size = width;
+  block->arena = arena;
+  return block;
+}
+
+void DeleteBlock(internal::PayloadHeader* block) {
+  ::operator delete(static_cast<void*>(block));
+}
+
+}  // namespace
+
+class TupleArenaExitGuard {
+ public:
+  explicit TupleArenaExitGuard(TupleArena* arena) : arena_(arena) {}
+  ~TupleArenaExitGuard() { arena_->Retire(); }
+  TupleArena* arena() const { return arena_; }
+
+ private:
+  TupleArena* arena_;
+};
+
+TupleArena* TupleArena::Default() {
+  static thread_local TupleArenaExitGuard guard(new TupleArena);
+  return guard.arena();
+}
+
+TupleArena::~TupleArena() {
+  RUMOR_DCHECK(outstanding_ == 0)
+      << "arena destroyed with " << outstanding_ << " live payload blocks";
+  FreePooled();
+}
+
+void TupleArena::FreePooled() {
+  for (std::vector<internal::PayloadHeader*>& list : free_) {
+    for (internal::PayloadHeader* block : list) DeleteBlock(block);
+    list.clear();
+  }
+  pooled_ = 0;
+}
+
+void TupleArena::Retire() {
+  FreePooled();
+  if (outstanding_ == 0) {
+    delete this;
+  } else {
+    retired_ = true;  // the last Release deletes
+  }
+}
+
+#ifndef NDEBUG
+namespace {
+uint64_t CurrentThreadToken() {
+  static thread_local char token;
+  return reinterpret_cast<uint64_t>(&token);
+}
+}  // namespace
+
+void TupleArena::CheckThread() {
+  if (owner_thread_ == 0) owner_thread_ = CurrentThreadToken();
+  RUMOR_DCHECK(owner_thread_ == CurrentThreadToken())
+      << "TupleArena used from a second thread; tuples must not cross "
+         "threads (see the Tuple threading contract)";
+}
+#endif
+
+internal::PayloadHeader* TupleArena::Allocate(uint32_t width) {
+#ifndef NDEBUG
+  CheckThread();
+#endif
+  ++outstanding_;
+  if (width < free_.size() && !free_[width].empty()) {
+    internal::PayloadHeader* block = free_[width].back();
+    free_[width].pop_back();
+    --pooled_;
+    block->refs = 1;
+    return block;
+  }
+  ++allocations_;
+  return NewBlock(width, this);
+}
+
+void TupleArena::Release(internal::PayloadHeader* block) {
+#ifndef NDEBUG
+  CheckThread();
+#endif
+  --outstanding_;
+  if (retired_) {
+    DeleteBlock(block);
+    if (outstanding_ == 0) delete this;
+    return;
+  }
+  const uint32_t width = block->size;
+  if (width > kMaxPooledWidth) {
+    DeleteBlock(block);
+    return;
+  }
+  if (free_.size() <= width) free_.resize(width + 1);
+  if (free_[width].size() >= kMaxPooledPerWidth) {
+    DeleteBlock(block);  // burst drain: don't pin peak memory forever
+    return;
+  }
+  free_[width].push_back(block);
+  ++pooled_;
+}
+
 Tuple Tuple::MakeInts(const std::vector<int64_t>& ints, Timestamp ts) {
-  std::vector<Value> values;
-  values.reserve(ints.size());
-  for (int64_t v : ints) values.emplace_back(v);
-  return Make(std::move(values), ts);
+  Value* out = nullptr;
+  Tuple t = MakeUninit(ints.size(), ts, &out);
+  for (size_t i = 0; i < ints.size(); ++i) out[i] = Value(ints[i]);
+  return t;
 }
 
 bool Tuple::ContentEquals(const Tuple& other) const {
   if (ts_ != other.ts_) return false;
   if (payload_ == other.payload_) return true;
-  if (!payload_ || !other.payload_) return false;
-  return *payload_ == *other.payload_;
+  if (payload_ == nullptr || other.payload_ == nullptr) return false;
+  if (size() != other.size()) return false;
+  for (int i = 0; i < size(); ++i) {
+    if (at(i) != other.at(i)) return false;
+  }
+  return true;
 }
 
 uint64_t Tuple::ContentHash() const {
   uint64_t h = Mix64(static_cast<uint64_t>(ts_));
-  if (payload_) {
-    for (const Value& v : *payload_) h = HashCombine(h, v.Hash());
-  }
+  for (const Value& v : values()) h = HashCombine(h, v.Hash());
   return h;
 }
 
@@ -39,15 +157,16 @@ std::string Tuple::ToString() const {
 }
 
 Tuple ConcatTuples(const Tuple& left, const Tuple& right, Timestamp ts) {
-  std::vector<Value> values;
-  values.reserve(left.size() + right.size());
-  if (!left.empty()) {
-    values.insert(values.end(), left.values().begin(), left.values().end());
+  const size_t ln = left.values().size(), rn = right.values().size();
+  Value* out = nullptr;
+  Tuple t = Tuple::MakeUninit(ln + rn, ts, &out);
+  if (ln > 0) {
+    __builtin_memcpy(out, left.values().data(), ln * sizeof(Value));
   }
-  if (!right.empty()) {
-    values.insert(values.end(), right.values().begin(), right.values().end());
+  if (rn > 0) {
+    __builtin_memcpy(out + ln, right.values().data(), rn * sizeof(Value));
   }
-  return Tuple::Make(std::move(values), ts);
+  return t;
 }
 
 }  // namespace rumor

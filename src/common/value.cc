@@ -1,9 +1,28 @@
 #include "common/value.h"
 
 #include <cmath>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace rumor {
+
+const StringRep* InternString(std::string_view s) {
+  // Keyed by a view into each rep's own string: reps are heap-allocated and
+  // never freed, so the views stay valid. The table is deliberately leaked
+  // (reps are handed out as raw pointers with process lifetime).
+  struct Table {
+    std::mutex mu;
+    std::unordered_map<std::string_view, const StringRep*> map;
+  };
+  static Table* table = new Table;
+  std::lock_guard<std::mutex> lock(table->mu);
+  auto it = table->map.find(s);
+  if (it != table->map.end()) return it->second;
+  auto* rep = new StringRep{HashBytes(s), std::string(s)};
+  table->map.emplace(std::string_view(rep->str), rep);
+  return rep;
+}
 
 const char* ValueTypeName(ValueType type) {
   switch (type) {
@@ -45,7 +64,8 @@ int Value::Compare(const Value& other) const {
   }
   switch (type_) {
     case ValueType::kNull: return 0;
-    case ValueType::kString: return string_.compare(other.string_);
+    case ValueType::kString:
+      return str_ == other.str_ ? 0 : str_->str.compare(other.str_->str);
     default: return 0;  // unreachable: numeric handled above
   }
 }
@@ -71,7 +91,7 @@ uint64_t Value::Hash() const {
       return Mix64(bits);
     }
     case ValueType::kString:
-      return HashBytes(string_);
+      return str_->hash;
   }
   return 0;
 }
@@ -86,7 +106,7 @@ std::string Value::ToString() const {
       os << double_;
       return os.str();
     }
-    case ValueType::kString: return "\"" + string_ + "\"";
+    case ValueType::kString: return "\"" + str_->str + "\"";
   }
   return "?";
 }

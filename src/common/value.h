@@ -2,12 +2,26 @@
 // The benchmark workloads of the paper use integer attributes only, but the
 // library supports int64, double, and string attributes so realistic
 // monitoring schemas (process names, counter labels) can be expressed.
+//
+// Representation: a 16-byte tagged union. Ints, doubles, and bools are
+// stored inline; strings are a pointer to an immutable, process-interned
+// StringRep (content + precomputed hash). Interning makes Value trivially
+// copyable and trivially destructible — vector<Value> payloads are dense
+// memcpy-able blocks, equality of equal strings is a pointer compare, and
+// hashing never touches string bytes. Interned strings live for the process
+// lifetime, so memory is bounded by the number of *distinct* strings ever
+// seen — appropriate for the enum-like string attributes of monitoring
+// schemas (process names, labels), not for unbounded-cardinality payloads.
+// The intern table is thread-safe (one mutex, taken only at string Value
+// construction, never on the compare/hash/copy paths); if construction of
+// string values ever becomes a contended hot path, shard the table.
 #ifndef RUMOR_COMMON_VALUE_H_
 #define RUMOR_COMMON_VALUE_H_
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -25,10 +39,22 @@ enum class ValueType : uint8_t {
 // Returns the lowercase name of a type ("int", "double", ...).
 const char* ValueTypeName(ValueType type);
 
-// A small tagged union. Ints/doubles/bools are stored inline; strings use
-// std::string. Values are totally ordered within a type; cross-type numeric
-// comparisons (int vs double) promote to double, everything else compares by
-// type tag first (a stable, documented order used by test oracles).
+// Immutable interned string storage. Reps are canonical: two Values carry
+// the same StringRep pointer iff their strings are byte-identical.
+struct StringRep {
+  uint64_t hash;    // HashBytes(str), precomputed
+  std::string str;  // immutable after interning
+};
+
+// Returns the canonical rep for `s` (process-wide table; reps are never
+// freed). Thread-safe; the lookup cost is paid at Value construction, not
+// on the compare/hash hot paths.
+const StringRep* InternString(std::string_view s);
+
+// A small tagged union; see the file comment for the representation.
+// Values are totally ordered within a type; cross-type numeric comparisons
+// (int vs double) promote to double, everything else compares by type tag
+// first (a stable, documented order used by test oracles).
 class Value {
  public:
   Value() : type_(ValueType::kNull), int_(0) {}
@@ -36,10 +62,11 @@ class Value {
   explicit Value(int v) : type_(ValueType::kInt), int_(v) {}
   explicit Value(double v) : type_(ValueType::kDouble), double_(v) {}
   explicit Value(bool v) : type_(ValueType::kBool), bool_(v) {}
-  explicit Value(std::string v)
-      : type_(ValueType::kString), int_(0), string_(std::move(v)) {}
-  explicit Value(const char* v)
-      : type_(ValueType::kString), int_(0), string_(v) {}
+  explicit Value(std::string_view v)
+      : type_(ValueType::kString), str_(InternString(v)) {}
+  explicit Value(const std::string& v)
+      : Value(std::string_view(v)) {}
+  explicit Value(const char* v) : Value(std::string_view(v)) {}
 
   static Value Null() { return Value(); }
 
@@ -60,8 +87,12 @@ class Value {
   }
   const std::string& AsString() const {
     RUMOR_DCHECK(type_ == ValueType::kString) << "not a string";
-    return string_;
+    return str_->str;
   }
+
+  // Unchecked raw int access for the typed evaluation fast path; the caller
+  // must have verified type() == kInt.
+  int64_t AsIntUnchecked() const { return int_; }
 
   // Numeric view: int/double/bool coerced to double; CHECKs otherwise.
   double ToNumeric() const;
@@ -76,8 +107,21 @@ class Value {
   // Returns <0, 0, >0.
   int Compare(const Value& other) const;
 
-  bool operator==(const Value& other) const { return Compare(other) == 0; }
-  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator==(const Value& other) const {
+    // Same-tag inline cases resolve without the Compare switch; interned
+    // strings compare by pointer.
+    if (type_ == other.type_) {
+      switch (type_) {
+        case ValueType::kNull: return true;
+        case ValueType::kInt: return int_ == other.int_;
+        case ValueType::kBool: return bool_ == other.bool_;
+        case ValueType::kString: return str_ == other.str_;
+        case ValueType::kDouble: break;  // NaN/-0.0: defer to Compare
+      }
+    }
+    return Compare(other) == 0;
+  }
+  bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const { return Compare(other) < 0; }
   bool operator<=(const Value& other) const { return Compare(other) <= 0; }
   bool operator>(const Value& other) const { return Compare(other) > 0; }
@@ -96,9 +140,15 @@ class Value {
     int64_t int_;
     double double_;
     bool bool_;
+    const StringRep* str_;  // interned; never null when engaged
   };
-  std::string string_;  // engaged only for kString
 };
+
+// The data plane depends on these: payload blocks are recycled raw and
+// copied with memcpy, with no per-Value construction or destruction.
+static_assert(sizeof(Value) <= 16, "Value must stay a compact 16 bytes");
+static_assert(std::is_trivially_copyable_v<Value>);
+static_assert(std::is_trivially_destructible_v<Value>);
 
 // Arithmetic on values with numeric promotion. Integer op integer stays
 // integer (division by zero CHECKs); any double operand promotes to double.

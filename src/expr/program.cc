@@ -4,6 +4,24 @@
 
 namespace rumor {
 
+namespace {
+
+// Process-wide fast-path switch (ablation benchmarks / equivalence tests).
+bool g_vectorization_enabled = true;
+
+EvalScratch& ThreadScratch() {
+  static thread_local EvalScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void Program::SetVectorizationEnabled(bool enabled) {
+  g_vectorization_enabled = enabled;
+}
+
+bool Program::vectorization_enabled() { return g_vectorization_enabled; }
+
 Program Program::Compile(const ExprPtr& expr) {
   Program p;
   if (expr == nullptr) {
@@ -12,7 +30,7 @@ Program Program::Compile(const ExprPtr& expr) {
   } else {
     p.Emit(expr);
   }
-  p.stack_.reserve(16);
+  if (g_vectorization_enabled) p.Specialize();
   return p;
 }
 
@@ -78,8 +96,119 @@ void Program::Emit(const ExprPtr& e) {
   }
 }
 
+void Program::Specialize() {
+  // Abstract kinds for the compile-time type simulation. Bools are lowered
+  // to int64 0/1 at runtime; the simulation only tracks bool-ness where the
+  // generic evaluator enforces it (kNot, jumps, and the final EvalBool
+  // coercion all CHECK for kBool).
+  enum class Kind : uint8_t { kInt, kBool };
+  struct Join {  // expected stack state at a jump target
+    int depth;
+  };
+
+  int_constants_.clear();
+  int_constants_.reserve(constants_.size());
+  for (const Value& c : constants_) {
+    if (c.type() == ValueType::kInt) {
+      int_constants_.push_back(c.AsInt());
+    } else if (c.type() == ValueType::kBool) {
+      int_constants_.push_back(c.AsBool() ? 1 : 0);
+    } else {
+      return;  // double/string/null constant: stay generic
+    }
+  }
+
+  std::vector<Kind> sim;
+  // One expected-join record per pc (depth, -1 = none). Join points arise
+  // only from short-circuit jumps; both paths arrive with the same depth and
+  // a bool on top, which the simulation verifies.
+  std::vector<int> join_depth(code_.size() + 1, -1);
+  for (size_t pc = 0; pc < code_.size(); ++pc) {
+    if (join_depth[pc] >= 0) {
+      if (static_cast<int>(sim.size()) != join_depth[pc]) return;
+      if (sim.empty() || sim.back() != Kind::kBool) return;
+    }
+    const Instruction& ins = code_[pc];
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        sim.push_back(constants_[ins.arg].type() == ValueType::kBool
+                          ? Kind::kBool
+                          : Kind::kInt);
+        break;
+      case OpCode::kPushAttr:  // int assumed; guarded per tuple at runtime
+      case OpCode::kPushTs:
+        sim.push_back(Kind::kInt);
+        break;
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul:
+      case OpCode::kDiv:
+      case OpCode::kMod: {
+        // Generic semantics keep int op int in int64; a bool operand would
+        // promote to double, which the typed path cannot represent.
+        if (sim.size() < 2) return;
+        Kind b = sim.back();
+        sim.pop_back();
+        Kind a = sim.back();
+        if (a != Kind::kInt || b != Kind::kInt) return;
+        sim.back() = Kind::kInt;
+        break;
+      }
+      case OpCode::kEq:
+      case OpCode::kNe:
+      case OpCode::kLt:
+      case OpCode::kLe:
+      case OpCode::kGt:
+      case OpCode::kGe:
+        // int/bool operands in any mix compare numerically; lowering bools
+        // to 0/1 int64 preserves the ordering exactly.
+        if (sim.size() < 2) return;
+        sim.pop_back();
+        sim.back() = Kind::kBool;
+        break;
+      case OpCode::kNot:
+        if (sim.empty() || sim.back() != Kind::kBool) return;
+        break;
+      case OpCode::kJumpIfFalsePeek:
+      case OpCode::kJumpIfTruePeek: {
+        if (sim.empty() || sim.back() != Kind::kBool) return;
+        const size_t target = static_cast<size_t>(ins.arg);
+        if (target <= pc || target > code_.size()) return;
+        // Taken path keeps the bool top; record the expected join state.
+        if (target < join_depth.size()) {
+          join_depth[target] = static_cast<int>(sim.size());
+        }
+        sim.pop_back();  // fall-through pops
+        break;
+      }
+    }
+    if (static_cast<int>(sim.size()) > kMaxTypedDepth) return;
+  }
+  if (sim.size() != 1 || sim.back() != Kind::kBool) return;
+  int_specialized_ = true;
+
+  // Fused shape: exactly [PushAttr(left), PushConst, cmp].
+  if (code_.size() == 3 && code_[0].op == OpCode::kPushAttr &&
+      code_[0].side == Side::kLeft && code_[1].op == OpCode::kPushConst &&
+      code_[2].op >= OpCode::kEq && code_[2].op <= OpCode::kGe) {
+    simple_cmp_ = true;
+    simple_attr_ = code_[0].arg;
+    simple_op_ = code_[2].op;
+    simple_const_ = int_constants_[code_[1].arg];
+  }
+}
+
+Value Program::Eval(const ExprContext& ctx, EvalScratch& scratch) const {
+  return EvalGeneric(ctx, scratch);
+}
+
 Value Program::Eval(const ExprContext& ctx) const {
-  std::vector<Value>& st = stack_;
+  return EvalGeneric(ctx, ThreadScratch());
+}
+
+Value Program::EvalGeneric(const ExprContext& ctx,
+                           EvalScratch& scratch) const {
+  std::vector<Value>& st = scratch.stack;
   st.clear();
   size_t pc = 0;
   const size_t n = code_.size();
@@ -139,9 +268,9 @@ Value Program::Eval(const ExprContext& ctx) const {
       }
       default: {
         RUMOR_DCHECK(st.size() >= 2);
-        Value b = std::move(st.back());
+        Value b = st.back();
         st.pop_back();
-        Value a = std::move(st.back());
+        Value a = st.back();
         st.pop_back();
         switch (ins.op) {
           case OpCode::kAdd: st.push_back(ValueAdd(a, b)); break;
@@ -166,10 +295,134 @@ Value Program::Eval(const ExprContext& ctx) const {
   return st.back();
 }
 
-bool Program::EvalBool(const ExprContext& ctx) const {
-  Value v = Eval(ctx);
+bool Program::EvalBoolGeneric(const ExprContext& ctx) const {
+  Value v = EvalGeneric(ctx, ThreadScratch());
   RUMOR_CHECK(v.type() == ValueType::kBool) << "program result not bool";
   return v.AsBool();
+}
+
+bool Program::EvalBoolTyped(const Tuple* left, const Tuple* right,
+                            bool* result) const {
+  int64_t st[kMaxTypedDepth];
+  int sp = 0;
+  size_t pc = 0;
+  const size_t n = code_.size();
+  const Instruction* code = code_.data();
+  while (pc < n) {
+    const Instruction& ins = code[pc];
+    switch (ins.op) {
+      case OpCode::kPushConst:
+        st[sp++] = int_constants_[ins.arg];
+        ++pc;
+        break;
+      case OpCode::kPushAttr: {
+        const Tuple* t = ins.side == Side::kLeft ? left : right;
+        RUMOR_DCHECK(t != nullptr);
+        const Value& v = t->at(ins.arg);
+        if (v.type() != ValueType::kInt) return false;  // generic fallback
+        st[sp++] = v.AsIntUnchecked();
+        ++pc;
+        break;
+      }
+      case OpCode::kPushTs: {
+        const Tuple* t = ins.side == Side::kLeft ? left : right;
+        RUMOR_DCHECK(t != nullptr);
+        st[sp++] = t->ts();
+        ++pc;
+        break;
+      }
+      case OpCode::kJumpIfFalsePeek:
+        if (st[sp - 1] == 0) {
+          pc = static_cast<size_t>(ins.arg);
+        } else {
+          --sp;
+          ++pc;
+        }
+        break;
+      case OpCode::kJumpIfTruePeek:
+        if (st[sp - 1] != 0) {
+          pc = static_cast<size_t>(ins.arg);
+        } else {
+          --sp;
+          ++pc;
+        }
+        break;
+      case OpCode::kNot:
+        st[sp - 1] = st[sp - 1] == 0 ? 1 : 0;
+        ++pc;
+        break;
+      default: {
+        const int64_t b = st[--sp];
+        int64_t& a = st[sp - 1];
+        switch (ins.op) {
+          case OpCode::kAdd: a = a + b; break;
+          case OpCode::kSub: a = a - b; break;
+          case OpCode::kMul: a = a * b; break;
+          case OpCode::kDiv:
+            RUMOR_CHECK(b != 0) << "integer division by zero";
+            a = a / b;
+            break;
+          case OpCode::kMod:
+            RUMOR_CHECK(b != 0) << "modulo by zero";
+            a = a % b;
+            break;
+          case OpCode::kEq: a = a == b ? 1 : 0; break;
+          case OpCode::kNe: a = a != b ? 1 : 0; break;
+          case OpCode::kLt: a = a < b ? 1 : 0; break;
+          case OpCode::kLe: a = a <= b ? 1 : 0; break;
+          case OpCode::kGt: a = a > b ? 1 : 0; break;
+          case OpCode::kGe: a = a >= b ? 1 : 0; break;
+          default: RUMOR_CHECK(false) << "bad opcode";
+        }
+        ++pc;
+        break;
+      }
+    }
+  }
+  *result = st[sp - 1] != 0;
+  return true;
+}
+
+void Program::EvalBoolBatch(const ChannelTuple* tuples, size_t n,
+                            BitVector& matches) const {
+  matches.AssignZero(static_cast<int>(n));
+  if (simple_cmp_) {
+    for (size_t i = 0; i < n; ++i) {
+      const Value& v = tuples[i].tuple.at(simple_attr_);
+      const bool m = v.type() == ValueType::kInt
+                         ? CompareSimple(v.AsIntUnchecked())
+                         : EvalBoolGeneric(ExprContext{&tuples[i].tuple,
+                                                       nullptr});
+      if (m) matches.Set(static_cast<int>(i));
+    }
+    return;
+  }
+  if (int_specialized_) {
+    for (size_t i = 0; i < n; ++i) {
+      bool m;
+      if (!EvalBoolTyped(&tuples[i].tuple, nullptr, &m)) {
+        m = EvalBoolGeneric(ExprContext{&tuples[i].tuple, nullptr});
+      }
+      if (m) matches.Set(static_cast<int>(i));
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (EvalBoolGeneric(ExprContext{&tuples[i].tuple, nullptr})) {
+      matches.Set(static_cast<int>(i));
+    }
+  }
+}
+
+void Program::EvalBoolBatchGated(const ChannelTuple* tuples, size_t n,
+                                 int slot, BitVector& matches) const {
+  matches.AssignZero(static_cast<int>(n));
+  for (size_t i = 0; i < n; ++i) {
+    if (!tuples[i].membership.Test(slot)) continue;
+    if (EvalBool(ExprContext{&tuples[i].tuple, nullptr})) {
+      matches.Set(static_cast<int>(i));
+    }
+  }
 }
 
 std::string Program::ToString() const {

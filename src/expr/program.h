@@ -2,6 +2,22 @@
 // short-circuit jumps. Hot operators (predicate index residuals, join and
 // pattern predicates) evaluate Programs instead of walking trees; both forms
 // have identical semantics (property-tested).
+//
+// Threading contract: a Program is immutable after Compile and carries no
+// mutable state — one Program may be shared by any number of threads. Each
+// evaluation needs scratch space; callers either pass an explicit
+// EvalScratch (parallel executors: one per thread) or use the convenience
+// overloads, which borrow a thread_local scratch.
+//
+// Fast paths (selected automatically at Compile):
+//  * int-typed register evaluation — when the program provably computes a
+//    boolean over int attributes and int/bool constants (type-simulated at
+//    compile time), EvalBool runs on a raw int64 stack with no Value
+//    boxing. A per-attribute runtime tag check guards the proof (the shape
+//    analysis cannot see schemas); a non-int attribute falls back to the
+//    generic evaluator for that tuple, so semantics are byte-identical.
+//  * fused single-comparison — programs of the shape `attr <op> const-int`
+//    skip interpreter dispatch entirely in EvalBoolBatch.
 #ifndef RUMOR_EXPR_PROGRAM_H_
 #define RUMOR_EXPR_PROGRAM_H_
 
@@ -9,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "common/bitvector.h"
 #include "expr/expr.h"
+#include "stream/channel.h"
 
 namespace rumor {
 
@@ -32,6 +50,11 @@ struct Instruction {
   int32_t arg = 0;
 };
 
+// Reusable evaluation scratch; one per evaluating thread.
+struct EvalScratch {
+  std::vector<Value> stack;
+};
+
 class Program {
  public:
   Program() = default;
@@ -39,10 +62,46 @@ class Program {
   // Compiles `expr`; a null expr compiles to a constant-true program.
   static Program Compile(const ExprPtr& expr);
 
-  // Evaluates against `ctx`. The scratch stack is reused across calls.
+  // Evaluates against `ctx` using the caller's scratch.
+  Value Eval(const ExprContext& ctx, EvalScratch& scratch) const;
+  // Convenience overload borrowing a thread_local scratch.
   Value Eval(const ExprContext& ctx) const;
-  // Evaluates and coerces to bool (CHECKs on non-bool results).
-  bool EvalBool(const ExprContext& ctx) const;
+
+  // Evaluates and coerces to bool (CHECKs on non-bool results). Takes the
+  // fused-comparison or typed int register path when the program is
+  // int-specialized and the referenced attributes are ints at runtime.
+  bool EvalBool(const ExprContext& ctx) const {
+    if (simple_cmp_) {
+      const Value& v = ctx.left->at(simple_attr_);
+      if (v.type() == ValueType::kInt) {
+        return CompareSimple(v.AsIntUnchecked());
+      }
+    } else if (int_specialized_) {
+      bool result;
+      if (EvalBoolTyped(ctx.left, ctx.right, &result)) return result;
+    }
+    return EvalBoolGeneric(ctx);
+  }
+
+  // Batch evaluation of a left-side (selection-style) predicate: sets
+  // matches bit i iff the program is true for tuples[i].tuple. `matches` is
+  // resized to n and cleared first.
+  void EvalBoolBatch(const ChannelTuple* tuples, size_t n,
+                     BitVector& matches) const;
+  // As above, but tuples whose membership bit `slot` is unset are skipped
+  // (bit stays 0) without evaluating — exactly the per-tuple gating of the
+  // scalar m-op paths, so evaluation side effects (division CHECKs) match.
+  void EvalBoolBatchGated(const ChannelTuple* tuples, size_t n, int slot,
+                          BitVector& matches) const;
+
+  // True when the typed int fast path is compiled in (observability/tests).
+  bool int_specialized() const { return int_specialized_; }
+
+  // Disables the typed/fused fast paths process-wide (ablation benchmarks
+  // and equivalence tests; production leaves them on). Affects programs
+  // compiled afterwards.
+  static void SetVectorizationEnabled(bool enabled);
+  static bool vectorization_enabled();
 
   int size() const { return static_cast<int>(code_.size()); }
   bool empty() const { return code_.empty(); }
@@ -50,11 +109,41 @@ class Program {
 
  private:
   void Emit(const ExprPtr& expr);
+  // Type-simulates the code over (attrs: int, ts: int) and records the
+  // int-typed plan if the simulation proves a bool result; also detects the
+  // fused single-comparison shape.
+  void Specialize();
+
+  Value EvalGeneric(const ExprContext& ctx, EvalScratch& scratch) const;
+  bool EvalBoolGeneric(const ExprContext& ctx) const;
+  bool CompareSimple(int64_t a) const {
+    switch (simple_op_) {
+      case OpCode::kEq: return a == simple_const_;
+      case OpCode::kNe: return a != simple_const_;
+      case OpCode::kLt: return a < simple_const_;
+      case OpCode::kLe: return a <= simple_const_;
+      case OpCode::kGt: return a > simple_const_;
+      default: return a >= simple_const_;
+    }
+  }
+  // Typed evaluation; returns false (caller must fall back) when a
+  // referenced attribute is not an int at runtime.
+  bool EvalBoolTyped(const Tuple* left, const Tuple* right,
+                     bool* result) const;
 
   std::vector<Instruction> code_;
   std::vector<Value> constants_;
-  mutable std::vector<Value> stack_;  // scratch; Programs are not shared
-                                      // across threads
+
+  // --- typed fast path (immutable after Compile) ---------------------------
+  static constexpr int kMaxTypedDepth = 32;
+  bool int_specialized_ = false;
+  std::vector<int64_t> int_constants_;  // constants_ lowered; bools as 0/1
+
+  // Fused `attr <op> const` form (implies int_specialized_).
+  bool simple_cmp_ = false;
+  int simple_attr_ = 0;
+  OpCode simple_op_ = OpCode::kEq;
+  int64_t simple_const_ = 0;
 };
 
 }  // namespace rumor

@@ -2,6 +2,16 @@
 
 namespace rumor {
 
+namespace {
+bool g_flat_probe_enabled = true;
+}  // namespace
+
+void PredicateIndexMop::SetFlatProbeEnabled(bool enabled) {
+  g_flat_probe_enabled = enabled;
+}
+
+bool PredicateIndexMop::flat_probe_enabled() { return g_flat_probe_enabled; }
+
 PredicateIndexMop::PredicateIndexMop(std::vector<SelectionDef> members,
                                      OutputMode mode)
     : Mop(MopType::kPredicateIndex, /*num_inputs=*/1,
@@ -31,14 +41,38 @@ void PredicateIndexMop::IndexMember(int i) {
     }
   }
   if (index == nullptr) {
-    indexes_.push_back(AttrIndex{shape.equality->attr, {}});
+    indexes_.push_back(AttrIndex{shape.equality->attr, {},
+                                 g_flat_probe_enabled, {}, {}});
     index = &indexes_.back();
   }
   IndexedMember im;
   im.member = i;
   im.has_residual = shape.residual != nullptr;
   if (im.has_residual) im.residual = Program::Compile(shape.residual);
-  index->by_constant[shape.equality->constant].push_back(std::move(im));
+  const Value& constant = shape.equality->constant;
+  std::vector<IndexedMember>& bucket = index->by_constant[constant];
+  const bool new_bucket = bucket.empty();
+  bucket.push_back(std::move(im));
+  if (!index->all_int) return;
+  if (constant.type() != ValueType::kInt) {
+    // A non-int constant can numerically alias an int one (3 vs 3.0); the
+    // flat probe cannot see that, so the whole index reverts to the map.
+    index->all_int = false;
+    index->flat.clear();
+    index->buckets.clear();
+    return;
+  }
+  if (new_bucket) {
+    index->flat.Insert(constant.AsIntUnchecked(),
+                       static_cast<int32_t>(index->buckets.size()));
+    index->buckets.push_back(&bucket);
+  }
+}
+
+int PredicateIndexMop::num_flat_indexes() const {
+  int n = 0;
+  for (const AttrIndex& ai : indexes_) n += ai.all_int ? 1 : 0;
+  return n;
 }
 
 int PredicateIndexMop::AddMember(SelectionDef def) {
@@ -51,28 +85,60 @@ int PredicateIndexMop::AddMember(SelectionDef def) {
   return i;
 }
 
+void PredicateIndexMop::MatchTuple(const ChannelTuple& ct) {
+  RUMOR_DCHECK(ct.membership.Test(0)) << "sσ members all read slot 0";
+  matched_scratch_.AssignZero(num_members());
+  const ExprContext ctx{&ct.tuple, nullptr};
+  for (const AttrIndex& index : indexes_) {
+    const std::vector<IndexedMember>* bucket =
+        Probe(index, ct.tuple.at(index.attr));
+    if (bucket == nullptr) continue;
+    for (const IndexedMember& im : *bucket) {
+      if (!im.has_residual || im.residual.EvalBool(ctx)) {
+        matched_scratch_.Set(im.member);
+      }
+    }
+  }
+}
+
 void PredicateIndexMop::Process(int input_port, const ChannelTuple& ct,
                                 Emitter& out) {
   RUMOR_DCHECK(input_port == 0);
   (void)input_port;
-  RUMOR_DCHECK(ct.membership.Test(0)) << "sσ members all read slot 0";
-  ExprContext ctx{&ct.tuple, nullptr};
-  BitVector matched(num_members());
-  for (AttrIndex& index : indexes_) {
-    auto it = index.by_constant.find(ct.tuple.at(index.attr));
-    if (it == index.by_constant.end()) continue;
-    for (IndexedMember& im : it->second) {
-      if (!im.has_residual || im.residual.EvalBool(ctx)) {
-        matched.Set(im.member);
+  MatchTuple(ct);
+  const ExprContext ctx{&ct.tuple, nullptr};
+  for (const SequentialMember& sm : sequential_) {
+    if (sm.program.EvalBool(ctx)) matched_scratch_.Set(sm.member);
+  }
+  EmitForMembers(mode_, matched_scratch_, ct.tuple, out);
+  CountOut(mode_ == OutputMode::kChannel ? (matched_scratch_.Any() ? 1 : 0)
+                                         : matched_scratch_.Count());
+}
+
+void PredicateIndexMop::ProcessBatch(int input_port,
+                                     const ChannelTuple* tuples, size_t n,
+                                     Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  // Member-major pass over the sequential members (vectorized evaluation);
+  // probes and residuals stay tuple-major — residuals must only run on
+  // probe-hit tuples, exactly as the scalar path does.
+  seq_match_scratch_.resize(sequential_.size());
+  for (size_t s = 0; s < sequential_.size(); ++s) {
+    sequential_[s].program.EvalBoolBatch(tuples, n, seq_match_scratch_[s]);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    const ChannelTuple& ct = tuples[j];
+    MatchTuple(ct);
+    for (size_t s = 0; s < sequential_.size(); ++s) {
+      if (seq_match_scratch_[s].Test(static_cast<int>(j))) {
+        matched_scratch_.Set(sequential_[s].member);
       }
     }
+    EmitForMembers(mode_, matched_scratch_, ct.tuple, out);
+    CountOut(mode_ == OutputMode::kChannel ? (matched_scratch_.Any() ? 1 : 0)
+                                           : matched_scratch_.Count());
   }
-  for (SequentialMember& sm : sequential_) {
-    if (sm.program.EvalBool(ctx)) matched.Set(sm.member);
-  }
-  EmitForMembers(mode_, matched, ct.tuple, out);
-  CountOut(mode_ == OutputMode::kChannel ? (matched.Any() ? 1 : 0)
-                                         : matched.Count());
 }
 
 }  // namespace rumor

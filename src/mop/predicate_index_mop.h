@@ -5,6 +5,13 @@
 // per-member residual check replaces evaluating every predicate. Members
 // without an indexable equality fall back to sequential evaluation.
 //
+// Probe fast path: while every constant of an attribute index is an int, the
+// index also maintains a flat open-addressing int64 table mapping the
+// constant to its member bucket, so the per-tuple probe is a Mix64 + linear
+// scan with no Value hashing; non-int probes (and indexes holding any
+// non-int constant) fall back to the authoritative unordered_map, whose
+// numeric Value equality handles cross-type matches (3 vs 3.0).
+//
 // This same m-op is what the Cayuga FR and AN indexes translate to in RUMOR
 // (paper §4.3).
 #ifndef RUMOR_MOP_PREDICATE_INDEX_MOP_H_
@@ -13,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "expr/program.h"
 #include "expr/shape.h"
 #include "mop/selection_mop.h"
@@ -35,6 +43,13 @@ class PredicateIndexMop : public Mop {
 
   // Number of members served by hash indexes (observability / tests).
   int num_indexed_members() const { return num_indexed_; }
+  // Number of attribute indexes currently served by the flat int probe.
+  int num_flat_indexes() const;
+
+  // Disables the flat int probe for m-ops constructed afterwards (ablation
+  // benchmarks and equivalence tests; production leaves it on).
+  static void SetFlatProbeEnabled(bool enabled);
+  static bool flat_probe_enabled();
 
   // Adds a member selection (online query churn: a new query's σ snaps onto
   // the warm index). Selections are stateless, so this is always safe; in
@@ -44,6 +59,8 @@ class PredicateIndexMop : public Mop {
 
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
+  void ProcessBatch(int input_port, const ChannelTuple* tuples, size_t n,
+                    Emitter& out) override;
 
  private:
   // Routes member `i` into the hash indexes or the sequential list.
@@ -56,17 +73,41 @@ class PredicateIndexMop : public Mop {
   struct AttrIndex {
     int attr;
     std::unordered_map<Value, std::vector<IndexedMember>> by_constant;
+    // Flat probe (engaged while all_int): constant -> index into buckets,
+    // which points at the by_constant bucket (mapped references are stable).
+    bool all_int = true;
+    FlatInt64Map flat;
+    std::vector<const std::vector<IndexedMember>*> buckets;
   };
   struct SequentialMember {
     int member;
     Program program;  // full predicate
   };
 
+  // Members matching `v` on this index, or null. Defined inline: this is
+  // the innermost per-tuple operation of the batch path.
+  static const std::vector<IndexedMember>* Probe(const AttrIndex& index,
+                                                 const Value& v) {
+    if (index.all_int && v.type() == ValueType::kInt) {
+      const int32_t bucket = index.flat.Find(v.AsIntUnchecked());
+      return bucket >= 0 ? index.buckets[bucket] : nullptr;
+    }
+    auto it = index.by_constant.find(v);
+    return it == index.by_constant.end() ? nullptr : &it->second;
+  }
+  // Sets the matched-member bits for one tuple into matched_scratch_.
+  void MatchTuple(const ChannelTuple& ct);
+
   std::vector<SelectionDef> members_;
   std::vector<AttrIndex> indexes_;
   std::vector<SequentialMember> sequential_;
   int num_indexed_ = 0;
   OutputMode mode_;
+
+  // Recycled per-tuple/batch scratch (never shrinks; allocation-free in
+  // steady state).
+  BitVector matched_scratch_;
+  std::vector<BitVector> seq_match_scratch_;
 };
 
 }  // namespace rumor

@@ -21,7 +21,8 @@ void SelectionMop::Process(int input_port, const ChannelTuple& ct,
   RUMOR_DCHECK(input_port == 0);
   (void)input_port;
   ExprContext ctx{&ct.tuple, nullptr};
-  BitVector matched(num_members());
+  BitVector& matched = matched_scratch_;
+  matched.AssignZero(num_members());
   for (int i = 0; i < num_members(); ++i) {
     if (!ct.membership.Test(members_[i].input_slot)) continue;
     if (programs_[i].EvalBool(ctx)) matched.Set(i);
@@ -29,6 +30,31 @@ void SelectionMop::Process(int input_port, const ChannelTuple& ct,
   EmitForMembers(mode_, matched, ct.tuple, out);
   CountOut(mode_ == OutputMode::kChannel ? (matched.Any() ? 1 : 0)
                                          : matched.Count());
+}
+
+void SelectionMop::ProcessBatch(int input_port, const ChannelTuple* tuples,
+                                size_t n, Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  // Member-major: each program sweeps the whole batch (vectorized/typed
+  // evaluation, membership-gated per tuple exactly like the scalar path),
+  // then tuples emit in order with their member sets reassembled.
+  const int nm = num_members();
+  member_match_scratch_.resize(nm);
+  for (int i = 0; i < nm; ++i) {
+    programs_[i].EvalBoolBatchGated(tuples, n, members_[i].input_slot,
+                                    member_match_scratch_[i]);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    BitVector& matched = matched_scratch_;
+    matched.AssignZero(nm);
+    for (int i = 0; i < nm; ++i) {
+      if (member_match_scratch_[i].Test(static_cast<int>(j))) matched.Set(i);
+    }
+    EmitForMembers(mode_, matched, tuples[j].tuple, out);
+    CountOut(mode_ == OutputMode::kChannel ? (matched.Any() ? 1 : 0)
+                                           : matched.Count());
+  }
 }
 
 ChannelSelectMop::ChannelSelectMop(SelectionDef def, int num_members,
@@ -53,6 +79,20 @@ void ChannelSelectMop::Process(int input_port, const ChannelTuple& ct,
   if (!program_.EvalBool(ctx)) return;
   EmitForMembers(mode_, ct.membership, ct.tuple, out);
   CountOut(mode_ == OutputMode::kChannel ? 1 : ct.membership.Count());
+}
+
+void ChannelSelectMop::ProcessBatch(int input_port, const ChannelTuple* tuples,
+                                    size_t n, Emitter& out) {
+  RUMOR_DCHECK(input_port == 0);
+  (void)input_port;
+  program_.EvalBoolBatch(tuples, n, match_scratch_);
+  for (size_t j = 0; j < n; ++j) {
+    if (!match_scratch_.Test(static_cast<int>(j))) continue;
+    RUMOR_DCHECK(tuples[j].membership.size() == num_members_);
+    EmitForMembers(mode_, tuples[j].membership, tuples[j].tuple, out);
+    CountOut(mode_ == OutputMode::kChannel ? 1
+                                           : tuples[j].membership.Count());
+  }
 }
 
 }  // namespace rumor

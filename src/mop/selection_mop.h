@@ -44,11 +44,17 @@ class SelectionMop : public Mop {
 
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
+  void ProcessBatch(int input_port, const ChannelTuple* tuples, size_t n,
+                    Emitter& out) override;
 
  private:
   std::vector<Member> members_;
   std::vector<Program> programs_;
   OutputMode mode_;
+  // Recycled scratch: per-member batch match masks + the per-tuple member
+  // set (allocation-free in steady state).
+  BitVector matched_scratch_;
+  std::vector<BitVector> member_match_scratch_;
 };
 
 class ChannelSelectMop : public Mop {
@@ -63,12 +69,15 @@ class ChannelSelectMop : public Mop {
 
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
+  void ProcessBatch(int input_port, const ChannelTuple* tuples, size_t n,
+                    Emitter& out) override;
 
  private:
   SelectionDef def_;
   int num_members_;
   Program program_;
   OutputMode mode_;
+  BitVector match_scratch_;
 };
 
 }  // namespace rumor

@@ -12,11 +12,15 @@ namespace rumor {
 class Executor::PortEmitter : public Emitter {
  public:
   PortEmitter(Executor* executor, MopId mop)
-      : executor_(executor), mop_(mop) {}
+      : executor_(executor),
+        out_channels_(executor->plan_->output_channels(mop).data()) {}
 
   void Emit(int output_port, ChannelTuple tuple) override {
-    ChannelId channel = executor_->plan_->output_channel(mop_, output_port);
+    // Output wiring is frozen while a push is in flight, so the channel
+    // table is resolved once per m-op visit, not per emission.
+    ChannelId channel = out_channels_[output_port];
     RUMOR_DCHECK(channel != kInvalidChannel);
+    if (executor_->TryDeliverLeaf(channel, tuple)) return;
     executor_->emit_scratch_.push_back(
         Task{Task::kChannel, channel, ChannelEnd{}, std::move(tuple)});
   }
@@ -34,7 +38,7 @@ class Executor::PortEmitter : public Emitter {
 
  private:
   Executor* executor_;
-  MopId mop_;
+  const ChannelId* out_channels_;
 };
 
 // Collects a whole batch's emissions into the executor's per-channel batch
@@ -45,11 +49,13 @@ class Executor::PortEmitter : public Emitter {
 class Executor::BatchEmitter : public Emitter {
  public:
   BatchEmitter(Executor* executor, MopId mop)
-      : executor_(executor), mop_(mop) {}
+      : executor_(executor),
+        out_channels_(executor->plan_->output_channels(mop).data()) {}
 
   void Emit(int output_port, ChannelTuple tuple) override {
-    ChannelId channel = executor_->plan_->output_channel(mop_, output_port);
+    ChannelId channel = out_channels_[output_port];
     RUMOR_DCHECK(channel != kInvalidChannel);
+    if (executor_->TryDeliverLeaf(channel, tuple)) return;
     std::vector<ChannelTuple>& buffer = executor_->channel_buffers_[channel];
     if (buffer.empty()) executor_->touched_channels_.push_back(channel);
     buffer.push_back(std::move(tuple));
@@ -57,7 +63,7 @@ class Executor::BatchEmitter : public Emitter {
 
  private:
   Executor* executor_;
-  MopId mop_;
+  const ChannelId* out_channels_;
 };
 
 Executor::Executor(Plan* plan, OutputSink* sink)
@@ -129,10 +135,11 @@ bool Executor::BatchSafe(ChannelId channel) {
   RUMOR_DCHECK(channel >= 0 && channel < plan_->num_channels());
   if (batch_safe_[channel] >= 0) return batch_safe_[channel] != 0;
   // BFS over the consumer graph, counting distinct reachable input ports
-  // per m-op. Two reachable ports on one m-op means a batch would deliver
-  // all of one port before the other, diverging from per-tuple order.
+  // per m-op (dense MopId-indexed scratch; -1 = not yet reached). Two
+  // reachable ports on one m-op means a batch would deliver all of one port
+  // before the other, diverging from per-tuple order.
   std::vector<bool> seen_channel(plan_->num_channels(), false);
-  std::unordered_map<MopId, int> first_port;
+  std::vector<int32_t> first_port(plan_->num_mops(), -1);
   std::deque<ChannelId> queue{channel};
   seen_channel[channel] = true;
   bool safe = true;
@@ -140,12 +147,14 @@ bool Executor::BatchSafe(ChannelId channel) {
     ChannelId c = queue.front();
     queue.pop_front();
     for (const ChannelEnd& end : routes_[c].consumers) {
-      auto [it, inserted] = first_port.insert({end.mop, end.port});
-      if (!inserted && it->second != end.port) {
-        safe = false;
-        break;
+      if (first_port[end.mop] >= 0) {
+        if (first_port[end.mop] != end.port) {
+          safe = false;
+          break;
+        }
+        continue;  // mop already expanded via this port
       }
-      if (!inserted) continue;  // mop already expanded via this port
+      first_port[end.mop] = end.port;
       for (ChannelId out : plan_->output_channels(end.mop)) {
         if (out != kInvalidChannel && !seen_channel[out]) {
           seen_channel[out] = true;

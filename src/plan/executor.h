@@ -16,11 +16,16 @@
 //    the same tuples in the same order as per-tuple pushes; only the
 //    *interleaving across different output streams* may differ (a batch
 //    delivers a channel's outputs before downstream channels').
+//
+// Output channels with no consumers (typical query outputs) are delivered
+// to the sink directly at emission time in both modes. Per-output-stream
+// delivery order is always the emission order; the interleaving *across*
+// output streams is unspecified (leaf outputs arrive before sibling
+// emissions' downstream outputs).
 #ifndef RUMOR_PLAN_EXECUTOR_H_
 #define RUMOR_PLAN_EXECUTOR_H_
 
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "plan/plan.h"
@@ -34,15 +39,22 @@ class OutputSink {
   virtual void OnOutput(StreamId stream, const Tuple& tuple) = 0;
 };
 
-// Counts outputs per stream (cheap; benchmarks).
+// Counts outputs per stream (cheap; benchmarks). StreamIds are small and
+// contiguous, so counters live in a dense vector; growth is geometric (a
+// one-at-a-time resize would re-touch the whole array on every new stream).
 class CountingSink : public OutputSink {
  public:
   void OnOutput(StreamId stream, const Tuple&) override {
     ++total_;
-    if (stream >= static_cast<StreamId>(per_stream_.size())) {
-      per_stream_.resize(stream + 1, 0);
-    }
+    if (stream >= static_cast<StreamId>(per_stream_.size())) Grow(stream);
     ++per_stream_[stream];
+  }
+  // Pre-sizes the counter array (benchmarks call this with the plan's
+  // stream count so the measured loop never grows it).
+  void Reserve(StreamId num_streams) {
+    if (num_streams > static_cast<StreamId>(per_stream_.size())) {
+      per_stream_.resize(num_streams, 0);
+    }
   }
   int64_t total() const { return total_; }
   int64_t ForStream(StreamId s) const {
@@ -50,29 +62,38 @@ class CountingSink : public OutputSink {
   }
 
  private:
+  void Grow(StreamId stream) {
+    size_t size = per_stream_.empty() ? 16 : per_stream_.size();
+    while (size <= static_cast<size_t>(stream)) size *= 2;
+    per_stream_.resize(size, 0);
+  }
+
   int64_t total_ = 0;
   std::vector<int64_t> per_stream_;
 };
 
-// Stores outputs per stream (tests / examples).
+// Stores outputs per stream (tests / examples); dense StreamId-indexed.
 class CollectingSink : public OutputSink {
  public:
   void OnOutput(StreamId stream, const Tuple& tuple) override {
+    if (stream >= static_cast<StreamId>(tuples_.size())) {
+      tuples_.resize(stream + 1);
+    }
     tuples_[stream].push_back(tuple);
   }
   const std::vector<Tuple>& ForStream(StreamId s) const {
     static const std::vector<Tuple> kEmpty;
-    auto it = tuples_.find(s);
-    return it == tuples_.end() ? kEmpty : it->second;
+    return s >= 0 && s < static_cast<StreamId>(tuples_.size()) ? tuples_[s]
+                                                               : kEmpty;
   }
   int64_t total() const {
     int64_t n = 0;
-    for (const auto& [s, v] : tuples_) n += v.size();
+    for (const std::vector<Tuple>& v : tuples_) n += v.size();
     return n;
   }
 
  private:
-  std::unordered_map<StreamId, std::vector<Tuple>> tuples_;
+  std::vector<std::vector<Tuple>> tuples_;
 };
 
 class Executor {
@@ -158,6 +179,15 @@ class Executor {
   // in channel_buffers_[root] (root must be batch-safe).
   void RunBatch(ChannelId root);
   void DeliverOutputs(const Route& route, const ChannelTuple& tuple);
+  // Leaf shortcut shared by both emitters: a channel with no consumers only
+  // feeds the sink, so deliver immediately instead of staging a task/batch.
+  // Returns true when the emission was fully handled.
+  bool TryDeliverLeaf(ChannelId channel, const ChannelTuple& tuple) {
+    const Route& route = routes_[channel];
+    if (!route.consumers.empty()) return false;
+    DeliverOutputs(route, tuple);
+    return true;
+  }
 
   Plan* plan_;
   OutputSink* sink_;

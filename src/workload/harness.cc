@@ -21,6 +21,7 @@ RumorRun MeasureRumor(const std::vector<Query>& queries,
   run.live_mops = static_cast<int>(plan.LiveMops().size());
 
   CountingSink sink;
+  sink.Reserve(static_cast<StreamId>(plan.streams().size()));
   Executor exec(&plan, &sink);
   exec.Prepare();
   std::vector<StreamId> streams;

@@ -92,6 +92,42 @@ TEST(BitVectorTest, ToStringFormat) {
   EXPECT_EQ(a.ToString(), "{0,3}");
 }
 
+TEST(BitVectorTest, ShrinkThenGrowDropsBits) {
+  // Bits dropped by a shrink must not resurrect on a later re-grow, across
+  // every storage transition (heap->inline, inline->inline, heap->heap).
+  for (int initial : {300, 200, 128, 90}) {
+    for (int small : {150, 65, 40, 10}) {
+      if (small >= initial) continue;
+      BitVector bv(initial);
+      bv.Set(small);  // first index dropped by the shrink
+      bv.Set(initial - 1);
+      bv.Set(small - 1);
+      bv.Resize(small);
+      EXPECT_TRUE(bv.Test(small - 1));
+      bv.Resize(initial);
+      EXPECT_FALSE(bv.Test(small))
+          << "phantom bit after " << initial << "->" << small << " resize";
+      EXPECT_FALSE(bv.Test(initial - 1)) << initial << "->" << small;
+      EXPECT_EQ(bv.Count(), 1) << initial << "->" << small;
+    }
+  }
+}
+
+TEST(BitVectorTest, AssignZeroReusesAndClears) {
+  BitVector bv(100);
+  bv.Set(3);
+  bv.Set(99);
+  bv.AssignZero(80);
+  EXPECT_EQ(bv.size(), 80);
+  EXPECT_TRUE(bv.None());
+  bv.AssignZero(200);
+  EXPECT_EQ(bv.size(), 200);
+  EXPECT_TRUE(bv.None());
+  bv.Set(199);
+  bv.AssignZero(100);
+  EXPECT_TRUE(bv.None());
+}
+
 // Property sweep: boolean algebra laws on random vectors.
 class BitVectorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -35,7 +35,7 @@ class IterOracle {
   explicit IterOracle(int64_t window) : window_(window) {}
 
   void PushLeft(const Tuple& l) {
-    std::vector<Value> concat = l.values();
+    std::vector<Value> concat(l.values().begin(), l.values().end());
     concat.insert(concat.end(), l.values().begin(), l.values().end());
     instances_.push_back({Tuple::Make(std::move(concat), l.ts()), l.ts(),
                           true});

@@ -56,14 +56,14 @@ TEST(TupleTest, MakeIntsAndAccess) {
 TEST(TupleTest, SharedPayloadOnCopy) {
   Tuple t = Tuple::MakeInts({1, 2}, 0);
   Tuple u = t;
-  EXPECT_EQ(t.payload().get(), u.payload().get());
+  EXPECT_EQ(t.payload(), u.payload());
 }
 
 TEST(TupleTest, WithTimestampSharesPayload) {
   Tuple t = Tuple::MakeInts({1, 2}, 0);
   Tuple u = t.WithTimestamp(9);
   EXPECT_EQ(u.ts(), 9);
-  EXPECT_EQ(t.payload().get(), u.payload().get());
+  EXPECT_EQ(t.payload(), u.payload());
 }
 
 TEST(TupleTest, ContentEquality) {

@@ -61,7 +61,7 @@ TEST(ChannelTest, DecodeRoundTrip) {
   EXPECT_EQ(decoded[1].first, 12);
   EXPECT_TRUE(decoded[0].second.ContentEquals(ct.tuple));
   // The decoded views share the channel tuple's payload (space sharing).
-  EXPECT_EQ(decoded[0].second.payload().get(), ct.tuple.payload().get());
+  EXPECT_EQ(decoded[0].second.payload(), ct.tuple.payload());
 }
 
 }  // namespace

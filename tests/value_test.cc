@@ -2,8 +2,41 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace rumor {
 namespace {
+
+TEST(ValueTest, StaysCompact) {
+  // The data plane's density story rests on this: payload blocks are
+  // 16 bytes per attribute, memcpy-copied, recycled raw.
+  static_assert(sizeof(Value) <= 16);
+  static_assert(std::is_trivially_copyable_v<Value>);
+  static_assert(std::is_trivially_destructible_v<Value>);
+  EXPECT_LE(sizeof(Value), 16u);
+}
+
+TEST(ValueTest, StringInterningIsCanonical) {
+  // Equal strings share one interned rep: AsString() of independently
+  // constructed equal values aliases the same storage.
+  Value a(std::string("intern-me"));
+  Value b("intern-me");
+  EXPECT_EQ(&a.AsString(), &b.AsString());
+  Value c("intern-you");
+  EXPECT_NE(&a.AsString(), &c.AsString());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, InternedStringsSurviveCopies) {
+  Value a(std::string("copy-me"));
+  Value b = a;  // trivial copy: same rep
+  Value c;
+  c = b;
+  EXPECT_EQ(c.AsString(), "copy-me");
+  EXPECT_EQ(&c.AsString(), &a.AsString());
+}
 
 TEST(ValueTest, DefaultIsNull) {
   Value v;
