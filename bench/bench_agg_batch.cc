@@ -102,24 +102,24 @@ int main() {
         << "configurations disagree on output count";
   }
 
-  FILE* json = std::fopen("BENCH_agg_batch.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\n  \"bench\": \"agg_batch\",\n");
-    std::fprintf(json, "  \"num_queries\": %d,\n  \"events\": %" PRId64 ",\n",
-                 num_queries, static_cast<int64_t>(events.size()));
-    std::fprintf(json, "  \"baseline\": \"ordered impl, batch 1 (seed event-"
-                       "at-a-time path)\",\n  \"rows\": [\n");
-    for (size_t i = 0; i < cells.size(); ++i) {
-      std::fprintf(json,
-                   "    {\"impl\": \"%s\", \"batch\": %" PRId64
-                   ", \"events_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
-                   cells[i].impl, cells[i].batch, cells[i].events_per_sec,
-                   cells[i].events_per_sec / seed_baseline,
-                   i + 1 < cells.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("# wrote BENCH_agg_batch.json\n");
+  JsonWriter w;
+  w.BeginObject()
+      .KV("bench", "agg_batch")
+      .KV("num_queries", num_queries)
+      .KV("events", static_cast<int64_t>(events.size()))
+      .KV("baseline", "ordered impl, batch 1 (seed event-at-a-time path)");
+  w.Key("rows").BeginArray();
+  for (const Cell& c : cells) {
+    w.BeginObject()
+        .KV("impl", c.impl)
+        .KV("batch", c.batch)
+        .Key("events_per_sec")
+        .Double(c.events_per_sec, 10)
+        .Key("speedup")
+        .Double(c.events_per_sec / seed_baseline, 4)
+        .EndObject();
   }
+  w.EndArray().EndObject();
+  WriteReport("BENCH_agg_batch.json", w.str());
   return 0;
 }

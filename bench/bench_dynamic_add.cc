@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "api/stream_engine.h"
+#include "bench/figure_common.h"
+#include "common/json_writer.h"
 
 using namespace rumor;
 
@@ -109,23 +111,43 @@ int main() {
   std::printf("# incremental merges over %d adds: cse=%d attach=%d rules=%d\n",
               kAdds, stats.incremental_cse_merges,
               stats.incremental_attach_merges, stats.incremental_rule_merges);
+  // The sharing snapshot is recomputed by CollectMetrics (the live add path
+  // deliberately skips the refcount walk).
+  const OptimizeStats sharing = engine.CollectMetrics().optimize;
+  std::printf("# sharing quality after %d live queries: %d m-ops (%d shared, "
+              "%d members), %.2f m-ops/query, %.2f members/m-op\n",
+              sharing.queries, sharing.live_mops, sharing.shared_mops,
+              sharing.total_members, sharing.mops_per_query(),
+              sharing.members_per_mop());
   std::printf("# acceptance: incremental >= 5x restart at N=%d: %s\n", kBase,
               speedup >= 5.0 ? "PASS" : "FAIL");
 
-  FILE* f = std::fopen("BENCH_dynamic_add.json", "w");
-  if (f != nullptr) {
-    std::fprintf(
-        f,
-        "{\n  \"bench\": \"dynamic_add\",\n  \"base_queries\": %d,\n"
-        "  \"adds\": %d,\n  \"incremental_median_ms\": %.6f,\n"
-        "  \"restart_median_ms\": %.6f,\n  \"speedup\": %.2f,\n"
-        "  \"incremental_cse_merges\": %d,\n"
-        "  \"incremental_attach_merges\": %d,\n"
-        "  \"incremental_rule_merges\": %d\n}\n",
-        kBase, kAdds, inc_median * 1e3, restart_median * 1e3, speedup,
-        stats.incremental_cse_merges, stats.incremental_attach_merges,
-        stats.incremental_rule_merges);
-    std::fclose(f);
-  }
+  JsonWriter w;
+  w.BeginObject()
+      .KV("bench", "dynamic_add")
+      .KV("base_queries", kBase)
+      .KV("adds", kAdds)
+      .Key("incremental_median_ms")
+      .Double(inc_median * 1e3, 6)
+      .Key("restart_median_ms")
+      .Double(restart_median * 1e3, 6)
+      .Key("speedup")
+      .Double(speedup, 4)
+      .KV("incremental_cse_merges", stats.incremental_cse_merges)
+      .KV("incremental_attach_merges", stats.incremental_attach_merges)
+      .KV("incremental_rule_merges", stats.incremental_rule_merges);
+  w.Key("sharing")
+      .BeginObject()
+      .KV("queries", sharing.queries)
+      .KV("live_mops", sharing.live_mops)
+      .KV("shared_mops", sharing.shared_mops)
+      .KV("total_members", sharing.total_members)
+      .Key("mops_per_query")
+      .Double(sharing.mops_per_query(), 4)
+      .Key("members_per_mop")
+      .Double(sharing.members_per_mop(), 4)
+      .EndObject();
+  w.EndObject();
+  bench::WriteReport("BENCH_dynamic_add.json", w.str());
   return speedup >= 5.0 ? 0 : 1;
 }

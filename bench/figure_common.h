@@ -11,11 +11,24 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "workload/harness.h"
 #include "workload/workloads.h"
 
 namespace rumor {
 namespace bench {
+
+// Writes a (JSON) report next to the working directory; all BENCH_*.json
+// emitters build their document with JsonWriter and land here.
+inline bool WriteReport(const char* path, const std::string& content) {
+  RUMOR_CHECK(JsonLint(content)) << "invalid JSON for " << path;
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s\n", path);
+  return true;
+}
 
 struct Scale {
   int64_t tuples = 30000;        // events per measurement

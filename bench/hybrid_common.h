@@ -43,10 +43,12 @@ inline HybridResult RunHybrid(int num_queries, double sel, bool with_channel,
   for (; i < warmup && i < n; ++i) exec.PushSource(cpu, trace[i]);
   Stopwatch timer;
   for (; i < n; ++i) exec.PushSource(cpu, trace[i]);
-  double seconds = timer.ElapsedSeconds();
-  out.events_per_second =
-      seconds > 0 ? static_cast<double>(n - warmup) / seconds : 0;
-  out.outputs = sink.total();
+  ThroughputResult result;
+  result.events = n - warmup;
+  result.outputs = sink.total();
+  result.seconds = timer.ElapsedSeconds();
+  out.events_per_second = result.EventsPerSecond();
+  out.outputs = result.outputs;
   return out;
 }
 

@@ -90,11 +90,14 @@ inline W3Result RunW3(int num_queries, int capacity, bool with_channel,
   }
   measured_seconds = timer.ElapsedSeconds();
 
-  out.logical_tuples_per_second =
-      measured_seconds > 0
-          ? static_cast<double>(rounds * (capacity + 1)) / measured_seconds
-          : 0;
-  out.outputs = sink.total();
+  // Rate accounting goes through ThroughputResult (shared seconds==0 guard):
+  // "events" here are logical stream tuples, (k+1) per measured round.
+  ThroughputResult result;
+  result.events = rounds * (capacity + 1);
+  result.outputs = sink.total();
+  result.seconds = measured_seconds;
+  out.logical_tuples_per_second = result.EventsPerSecond();
+  out.outputs = result.outputs;
   return out;
 }
 

@@ -133,6 +133,9 @@ Status StreamEngine::AddQueryLive(Query query) {
   stats_.incremental_cse_merges += merged.cse_merges;
   stats_.incremental_attach_merges += merged.attach_merges;
   stats_.incremental_rule_merges += merged.rule_merges;
+  // Sharing-quality fields of stats_ are NOT refreshed here: the refcount
+  // walk is O(queries × plan) and this path is latency-critical (the
+  // bench_dynamic_add bar). CollectMetrics() recomputes them on demand.
 
   auto out = plan_.OutputStreamOf(query.name);
   RUMOR_CHECK(out.has_value());
@@ -185,6 +188,7 @@ Status StreamEngine::Start() {
     sink_->Bind(def.stream, def.query_name);
   }
   executor_ = std::make_unique<Executor>(&plan_, sink_.get());
+  executor_->SetMetricsOptions(metrics_options_);
   executor_->Prepare();
   RefreshSourceIds();
   return Status::OK();
@@ -227,6 +231,27 @@ int64_t StreamEngine::OutputCount(const std::string& query_name) const {
 
 std::string StreamEngine::Explain() const {
   return ExplainPlan(plan_);
+}
+
+std::string StreamEngine::ExplainAnalyze() const {
+  return rumor::ExplainAnalyze(plan_);
+}
+
+EngineMetrics StreamEngine::CollectMetrics() const {
+  EngineMetrics em = CollectEngineMetrics(
+      plan_, stats_, executor_ != nullptr ? executor_->deliveries() : 0);
+  // Only the engine knows live query names and delivered counts; a raw-plan
+  // caller gets empty query_rows.
+  em.queries = num_queries();
+  for (const Query& q : queries_) {
+    em.query_rows.push_back({q.name, OutputCount(q.name)});
+  }
+  return em;
+}
+
+void StreamEngine::SetMetricsOptions(const MetricsOptions& options) {
+  metrics_options_ = options;
+  if (executor_ != nullptr) executor_->SetMetricsOptions(options);
 }
 
 }  // namespace rumor

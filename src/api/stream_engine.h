@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "plan/compile.h"
+#include "plan/engine_metrics.h"
 #include "plan/executor.h"
 #include "query/parser.h"
 #include "rules/rule_engine.h"
@@ -106,6 +107,19 @@ class StreamEngine {
   // EXPLAIN-style plan report (includes runtime counters after pushes;
   // reflects the current plan of a running engine, including live merges).
   std::string Explain() const;
+  // EXPLAIN ANALYZE: the plan annotated with live per-m-op metrics — query
+  // reach, tuples in/out, selectivity, batches, sampled per-tuple cost.
+  std::string ExplainAnalyze() const;
+  // Full engine snapshot: sharing quality + optimizer history + per-m-op and
+  // per-query counters + data-plane fast-path efficacy. Serialize with
+  // ToString() / ToJson().
+  EngineMetrics CollectMetrics() const;
+  // Tunes metric collection (currently: eval-timing sample period). Cheap
+  // counters are always on (unless compiled out via RUMOR_METRICS=OFF);
+  // only the sampled wall-clocking is governed by this knob. Legal in both
+  // states; applied to the executor at Start() if called before it.
+  void SetMetricsOptions(const MetricsOptions& options);
+  const MetricsOptions& metrics_options() const { return metrics_options_; }
 
  private:
   class HandlerSink;
@@ -120,6 +134,7 @@ class StreamEngine {
   void RefreshSourceIds();
 
   OptimizerOptions options_;
+  MetricsOptions metrics_options_;
   Catalog catalog_;
   std::vector<Query> queries_;
   OutputHandler handler_;

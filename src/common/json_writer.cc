@@ -1,0 +1,282 @@
+#include "common/json_writer.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace rumor {
+
+void JsonWriter::AppendIndent(size_t depth) {
+  if (indent_ <= 0) return;
+  out_.push_back('\n');
+  out_.append(depth * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::NextElement() {
+  if (stack_.empty()) return;  // top-level single value
+  Frame& frame = stack_.back();
+  if (frame.count > 0) out_.push_back(',');
+  ++frame.count;
+  AppendIndent(stack_.size());
+}
+
+void JsonWriter::BeginValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already positioned us
+  }
+  RUMOR_DCHECK(stack_.empty() || !stack_.back().is_object)
+      << "object members need a Key()";
+  NextElement();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  RUMOR_DCHECK(!stack_.empty() && stack_.back().is_object && !after_key_)
+      << "Key() outside an object";
+  NextElement();
+  out_.push_back('"');
+  AppendEscaped(key);
+  out_.append(indent_ > 0 ? "\": " : "\":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeginValue();
+  out_.push_back('{');
+  stack_.push_back(Frame{true, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  RUMOR_DCHECK(!stack_.empty() && stack_.back().is_object && !after_key_);
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) AppendIndent(stack_.size());
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeginValue();
+  out_.push_back('[');
+  stack_.push_back(Frame{false, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  RUMOR_DCHECK(!stack_.empty() && !stack_.back().is_object);
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) AppendIndent(stack_.size());
+  out_.push_back(']');
+  return *this;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\n': out_.append("\\n"); break;
+      case '\r': out_.append("\\r"); break;
+      case '\t': out_.append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(static_cast<char>(c));  // UTF-8 passes through
+        }
+    }
+  }
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeginValue();
+  out_.push_back('"');
+  AppendEscaped(value);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeginValue();
+  out_.append(std::to_string(value));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeginValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeginValue();
+  out_.append("null");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value, int precision) {
+  if (!std::isfinite(value)) return Null();
+  BeginValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  out_.append(buf);
+  // `%g` may produce a bare integer ("3"), which is still valid JSON.
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  RUMOR_DCHECK(stack_.empty() && !after_key_)
+      << "unclosed JSON scopes (" << stack_.size() << " open)";
+  return out_ + "\n";
+}
+
+// --- JsonLint ----------------------------------------------------------------
+
+namespace {
+
+// Recursive-descent syntax checker over raw bytes. Strings accept any byte
+// >= 0x20 (UTF-8 passes through unvalidated, matching the writer).
+class Linter {
+ public:
+  explicit Linter(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value() || (SkipWs(), pos_ != text_.size())) {
+      if (error != nullptr) {
+        *error = "invalid JSON at byte " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(char c) {
+    if (Eof() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (!Eof()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (Eof()) return false;
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(
+                             text_[pos_++]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (c < 0x20) {
+        return false;  // raw control character
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Digits() {
+    size_t start = pos_;
+    while (!Eof() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    return pos_ > start;
+  }
+
+  bool Number() {
+    Consume('-');
+    if (Consume('0')) {
+      // no leading zeros
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Consume('.') && !Digits()) return false;
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value() {
+    if (Eof()) return false;
+    switch (Peek()) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Array() {
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonLint(std::string_view text, std::string* error) {
+  return Linter(text).Run(error);
+}
+
+}  // namespace rumor

@@ -1,0 +1,67 @@
+// Runtime-metrics plumbing shared by the whole engine: the compile-out
+// switch, the per-m-op counter block, and the sampling knob.
+//
+// Every hot-path counter in the engine is a plain (non-atomic) increment —
+// the data plane runs one engine per thread (see the Tuple threading
+// contract) — and is wrapped in RUMOR_METRIC(...) so that configuring with
+// -DRUMOR_METRICS=OFF compiles the whole observability layer out. Timing is
+// never per-event: the executor samples one m-op invocation in
+// MetricsOptions::sample_every_n and extrapolates.
+#ifndef RUMOR_COMMON_METRICS_H_
+#define RUMOR_COMMON_METRICS_H_
+
+#include <cstdint>
+
+// Defined to 0 by CMake when RUMOR_METRICS=OFF; default is compiled in.
+#ifndef RUMOR_METRICS_ENABLED
+#define RUMOR_METRICS_ENABLED 1
+#endif
+
+// `if constexpr` rather than `#if`: the counter statement always
+// type-checks (no unused-variable warnings in the OFF build) and the
+// compiler removes it entirely when metrics are compiled out.
+#define RUMOR_METRIC(stmt)                 \
+  do {                                     \
+    if constexpr (RUMOR_METRICS_ENABLED) { \
+      stmt;                                \
+    }                                      \
+  } while (0)
+
+namespace rumor {
+
+// Per-m-op runtime counters, maintained by the executor (tuples/batches) and
+// the m-op implementations (outputs). Cheap enough to stay on by default;
+// `eval_ns` covers only the sampled invocations, so cost per tuple is
+// estimated as eval_ns / sampled_tuples.
+struct MopMetrics {
+  int64_t tuples_in = 0;   // tuples delivered to any input port
+  int64_t tuples_out = 0;  // tuples emitted (per-member fan-out counted)
+  int64_t batches = 0;     // ProcessBatch invocations
+  int64_t sampled_evals = 0;   // invocations that were wall-clock timed
+  int64_t sampled_tuples = 0;  // tuples covered by the timed invocations
+  int64_t eval_ns = 0;         // wall time across the timed invocations
+
+  // Output selectivity: emitted tuples per delivered tuple. Can exceed 1 for
+  // fan-out m-ops (per-member ports, joins).
+  double selectivity() const {
+    return tuples_in > 0 ? static_cast<double>(tuples_out) / tuples_in : 0.0;
+  }
+  // Estimated processing cost per delivered tuple, from the timed sample.
+  double ns_per_tuple() const {
+    return sampled_tuples > 0 ? static_cast<double>(eval_ns) / sampled_tuples
+                              : 0.0;
+  }
+  void Reset() { *this = MopMetrics{}; }
+};
+
+// Tuning for the runtime metrics layer.
+struct MetricsOptions {
+  // Wall-clock one in N m-op invocations (deliveries on the per-tuple path,
+  // ProcessBatch calls on the batched path). <= 0 disables timing; counters
+  // are unaffected. The default keeps the clock off the per-event path.
+  int sample_every_n = 64;
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_METRICS_H_

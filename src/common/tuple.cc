@@ -87,6 +87,7 @@ internal::PayloadHeader* TupleArena::Allocate(uint32_t width) {
   CheckThread();
 #endif
   ++outstanding_;
+  ++requests_;
   if (width < free_.size() && !free_[width].empty()) {
     internal::PayloadHeader* block = free_[width].back();
     free_[width].pop_back();

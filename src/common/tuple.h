@@ -81,6 +81,14 @@ class TupleArena {
   // Total heap allocations performed (cache-miss measure for benchmarks;
   // steady-state processing should not grow this).
   int64_t allocations() const { return allocations_; }
+  // Total Allocate calls; requests not served from a freelist hit the heap.
+  int64_t requests() const { return requests_; }
+  // Freelist-recycled allocations and their share of all requests — the
+  // "allocation-free steady state" measure.
+  int64_t recycled() const { return requests_ - allocations_; }
+  double recycle_hit_rate() const {
+    return requests_ > 0 ? static_cast<double>(recycled()) / requests_ : 0.0;
+  }
 
  private:
   friend class TupleArenaExitGuard;
@@ -101,6 +109,7 @@ class TupleArena {
   int64_t outstanding_ = 0;
   int64_t pooled_ = 0;
   int64_t allocations_ = 0;
+  int64_t requests_ = 0;
   bool retired_ = false;
 #ifndef NDEBUG
   // Guards the single-threaded contract: allocate/release off the owning

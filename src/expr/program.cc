@@ -296,6 +296,7 @@ Value Program::EvalGeneric(const ExprContext& ctx,
 }
 
 bool Program::EvalBoolGeneric(const ExprContext& ctx) const {
+  RUMOR_METRIC(++internal::tl_program_counters.generic);
   Value v = EvalGeneric(ctx, ThreadScratch());
   RUMOR_CHECK(v.type() == ValueType::kBool) << "program result not bool";
   return v.AsBool();
@@ -319,7 +320,10 @@ bool Program::EvalBoolTyped(const Tuple* left, const Tuple* right,
         const Tuple* t = ins.side == Side::kLeft ? left : right;
         RUMOR_DCHECK(t != nullptr);
         const Value& v = t->at(ins.arg);
-        if (v.type() != ValueType::kInt) return false;  // generic fallback
+        if (v.type() != ValueType::kInt) {
+          RUMOR_METRIC(++internal::tl_program_counters.typed_fallbacks);
+          return false;  // generic fallback
+        }
         st[sp++] = v.AsIntUnchecked();
         ++pc;
         break;
@@ -380,6 +384,7 @@ bool Program::EvalBoolTyped(const Tuple* left, const Tuple* right,
     }
   }
   *result = st[sp - 1] != 0;
+  RUMOR_METRIC(++internal::tl_program_counters.typed);
   return true;
 }
 
@@ -389,10 +394,13 @@ void Program::EvalBoolBatch(const ChannelTuple* tuples, size_t n,
   if (simple_cmp_) {
     for (size_t i = 0; i < n; ++i) {
       const Value& v = tuples[i].tuple.at(simple_attr_);
-      const bool m = v.type() == ValueType::kInt
-                         ? CompareSimple(v.AsIntUnchecked())
-                         : EvalBoolGeneric(ExprContext{&tuples[i].tuple,
-                                                       nullptr});
+      bool m;
+      if (v.type() == ValueType::kInt) {
+        RUMOR_METRIC(++internal::tl_program_counters.fused);
+        m = CompareSimple(v.AsIntUnchecked());
+      } else {
+        m = EvalBoolGeneric(ExprContext{&tuples[i].tuple, nullptr});
+      }
       if (m) matches.Set(static_cast<int>(i));
     }
     return;

@@ -26,10 +26,34 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "common/metrics.h"
 #include "expr/expr.h"
 #include "stream/channel.h"
 
 namespace rumor {
+
+// Fast-path efficacy counters for boolean predicate evaluation, summed over
+// every Program on the thread (Programs are immutable and shared, so the
+// counters live beside the thread's EvalScratch rather than in the Program).
+// `typed_fallbacks` counts typed evaluations that bailed to the generic
+// evaluator on a non-int attribute (those evals are also in `generic`).
+struct ProgramCounters {
+  int64_t fused = 0;    // fused attr-op-const comparisons
+  int64_t typed = 0;    // int64-register evaluations that completed
+  int64_t generic = 0;  // Value-stack boolean evaluations
+  int64_t typed_fallbacks = 0;
+
+  int64_t total() const { return fused + typed + generic; }
+  // Share of boolean evaluations served without Value boxing.
+  double vectorized_share() const {
+    const int64_t t = total();
+    return t > 0 ? static_cast<double>(fused + typed) / t : 0.0;
+  }
+};
+
+namespace internal {
+inline thread_local ProgramCounters tl_program_counters;
+}  // namespace internal
 
 enum class OpCode : uint8_t {
   kPushConst,   // push constants_[arg]
@@ -74,6 +98,7 @@ class Program {
     if (simple_cmp_) {
       const Value& v = ctx.left->at(simple_attr_);
       if (v.type() == ValueType::kInt) {
+        RUMOR_METRIC(++internal::tl_program_counters.fused);
         return CompareSimple(v.AsIntUnchecked());
       }
     } else if (int_specialized_) {
@@ -96,6 +121,12 @@ class Program {
 
   // True when the typed int fast path is compiled in (observability/tests).
   bool int_specialized() const { return int_specialized_; }
+
+  // This thread's fast-path efficacy counters (see ProgramCounters).
+  static const ProgramCounters& counters() {
+    return internal::tl_program_counters;
+  }
+  static void ResetCounters() { internal::tl_program_counters = {}; }
 
   // Disables the typed/fused fast paths process-wide (ablation benchmarks
   // and equivalence tests; production leaves them on). Affects programs

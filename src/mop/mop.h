@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/metrics.h"
 #include "stream/channel.h"
 
 namespace rumor {
@@ -94,11 +95,17 @@ class Mop {
   // Short display name, e.g. "σ{1,2}" or "µ[3]".
   virtual std::string name() const;
 
-  // --- lightweight metrics (maintained by the executor) --------------------
-  int64_t tuples_in() const { return tuples_in_; }
-  int64_t tuples_out() const { return tuples_out_; }
-  void CountIn(int64_t n = 1) { tuples_in_ += n; }
-  void CountOut(int64_t n = 1) { tuples_out_ += n; }
+  // --- lightweight metrics --------------------------------------------------
+  // Tuple/batch counters are maintained by the executor (in) and the m-op
+  // implementations (out); timing is sampled by the executor. Everything
+  // compiles out under -DRUMOR_METRICS=OFF (see common/metrics.h).
+  const MopMetrics& metrics() const { return metrics_; }
+  MopMetrics& mutable_metrics() { return metrics_; }
+  int64_t tuples_in() const { return metrics_.tuples_in; }
+  int64_t tuples_out() const { return metrics_.tuples_out; }
+  void CountIn(int64_t n = 1) { RUMOR_METRIC(metrics_.tuples_in += n); }
+  void CountOut(int64_t n = 1) { RUMOR_METRIC(metrics_.tuples_out += n); }
+  void CountBatch() { RUMOR_METRIC(++metrics_.batches); }
 
  protected:
   void set_num_outputs(int n) { num_outputs_ = n; }
@@ -111,8 +118,7 @@ class Mop {
   int num_inputs_;
   int num_outputs_;
   MopId id_ = kInvalidMop;
-  int64_t tuples_in_ = 0;
-  int64_t tuples_out_ = 0;
+  MopMetrics metrics_;
 };
 
 // How a multi-member m-op exposes its member outputs.

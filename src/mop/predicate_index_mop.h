@@ -45,6 +45,10 @@ class PredicateIndexMop : public Mop {
   int num_indexed_members() const { return num_indexed_; }
   // Number of attribute indexes currently served by the flat int probe.
   int num_flat_indexes() const;
+  // Probe fast-path efficacy: probes answered by the flat int table vs the
+  // unordered_map fallback (compiled out under RUMOR_METRICS=OFF).
+  int64_t flat_probes() const { return flat_probes_; }
+  int64_t map_probes() const { return map_probes_; }
 
   // Disables the flat int probe for m-ops constructed afterwards (ablation
   // benchmarks and equivalence tests; production leaves it on).
@@ -85,13 +89,16 @@ class PredicateIndexMop : public Mop {
   };
 
   // Members matching `v` on this index, or null. Defined inline: this is
-  // the innermost per-tuple operation of the batch path.
-  static const std::vector<IndexedMember>* Probe(const AttrIndex& index,
-                                                 const Value& v) {
+  // the innermost per-tuple operation of the batch path. Non-static so the
+  // probe-efficacy counters can live on the m-op.
+  const std::vector<IndexedMember>* Probe(const AttrIndex& index,
+                                          const Value& v) {
     if (index.all_int && v.type() == ValueType::kInt) {
+      RUMOR_METRIC(++flat_probes_);
       const int32_t bucket = index.flat.Find(v.AsIntUnchecked());
       return bucket >= 0 ? index.buckets[bucket] : nullptr;
     }
+    RUMOR_METRIC(++map_probes_);
     auto it = index.by_constant.find(v);
     return it == index.by_constant.end() ? nullptr : &it->second;
   }
@@ -103,6 +110,8 @@ class PredicateIndexMop : public Mop {
   std::vector<SequentialMember> sequential_;
   int num_indexed_ = 0;
   OutputMode mode_;
+  int64_t flat_probes_ = 0;
+  int64_t map_probes_ = 0;
 
   // Recycled per-tuple/batch scratch (never shrinks; allocation-free in
   // steady state).

@@ -1,0 +1,213 @@
+#include "plan/engine_metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json_writer.h"
+#include "common/tuple.h"
+#include "expr/program.h"
+#include "mop/predicate_index_mop.h"
+
+namespace rumor {
+
+EngineMetrics CollectEngineMetrics(const Plan& plan,
+                                   const OptimizeStats& optimize,
+                                   int64_t deliveries) {
+  EngineMetrics em;
+  em.optimize = optimize;
+  em.deliveries = deliveries;
+  em.queries = static_cast<int>(plan.outputs().size());
+
+  for (ChannelId c = 0; c < plan.num_channels(); ++c) {
+    if (plan.channel_dead(c)) continue;
+    if (plan.ProducerOf(c).has_value() || !plan.ConsumersOf(c).empty()) {
+      ++em.wired_channels;
+    }
+  }
+
+  const std::vector<int> refs = plan.QueryRefCounts();
+  for (MopId id : plan.LiveMops()) {
+    const Mop& mop = plan.mop(id);
+    EngineMetrics::MopRow row;
+    row.id = id;
+    row.name = mop.name();
+    row.type = MopTypeName(mop.type());
+    row.members = mop.num_members();
+    row.query_refs = refs[id];
+    row.m = mop.metrics();
+    em.mops.push_back(std::move(row));
+
+    ++em.live_mops;
+    em.total_members += mop.num_members();
+    if (refs[id] > 1) {
+      ++em.shared_mops;
+    } else {
+      ++em.private_mops;
+    }
+    if (mop.type() == MopType::kPredicateIndex) {
+      const auto& index = static_cast<const PredicateIndexMop&>(mop);
+      em.flat_probes += index.flat_probes();
+      em.map_probes += index.map_probes();
+    }
+  }
+  em.mops_per_query =
+      em.queries > 0 ? static_cast<double>(em.live_mops) / em.queries : 0.0;
+  // Sync the OptimizeStats sharing snapshot from this walk — the engine
+  // deliberately does not refresh it on the latency-critical live add/remove
+  // path, so the copy carried in stats may be stale.
+  em.optimize.queries = em.queries;
+  em.optimize.live_mops = em.live_mops;
+  em.optimize.total_members = em.total_members;
+  em.optimize.shared_mops = em.shared_mops;
+
+  const ProgramCounters& pc = Program::counters();
+  em.program_fused = pc.fused;
+  em.program_typed = pc.typed;
+  em.program_generic = pc.generic;
+  em.program_typed_fallbacks = pc.typed_fallbacks;
+
+  const TupleArena* arena = TupleArena::Default();
+  em.arena_requests = arena->requests();
+  em.arena_heap_allocations = arena->allocations();
+  em.arena_pooled = arena->pooled();
+  em.arena_outstanding = arena->outstanding();
+  return em;
+}
+
+std::string EngineMetrics::ToString() const {
+  std::ostringstream os;
+  char buf[160];
+  os << "engine: " << queries << " queries, " << live_mops << " m-ops ("
+     << shared_mops << " shared, " << private_mops << " private), "
+     << total_members << " members, " << wired_channels << " wired channels";
+  std::snprintf(buf, sizeof(buf), ", %.2f m-ops/query", mops_per_query);
+  os << buf << ", " << deliveries << " deliveries";
+  if (!metrics_compiled) os << " [metrics compiled out]";
+  os << "\n" << optimize.ToString() << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "fast paths: vectorized_share=%.3f (fused=%lld typed=%lld "
+                "generic=%lld fallbacks=%lld)",
+                vectorized_share(), static_cast<long long>(program_fused),
+                static_cast<long long>(program_typed),
+                static_cast<long long>(program_generic),
+                static_cast<long long>(program_typed_fallbacks));
+  os << buf << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  index probes: flat=%lld map=%lld (flat_share=%.3f)",
+                static_cast<long long>(flat_probes),
+                static_cast<long long>(map_probes), flat_probe_share());
+  os << buf << "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  tuple arena: requests=%lld heap=%lld recycle_hit=%.3f "
+                "pooled=%lld outstanding=%lld",
+                static_cast<long long>(arena_requests),
+                static_cast<long long>(arena_heap_allocations),
+                arena_recycle_hit_rate(), static_cast<long long>(arena_pooled),
+                static_cast<long long>(arena_outstanding));
+  os << buf << "\n";
+  for (const MopRow& row : mops) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-18s members=%-5d queries=%-5d in=%-10lld out=%-10lld "
+                  "sel=%.4f batches=%lld",
+                  row.name.c_str(), row.members, row.query_refs,
+                  static_cast<long long>(row.m.tuples_in),
+                  static_cast<long long>(row.m.tuples_out),
+                  row.m.selectivity(),
+                  static_cast<long long>(row.m.batches));
+    os << buf;
+    if (row.m.sampled_tuples > 0) {
+      std::snprintf(buf, sizeof(buf), " ns/tuple=%.1f", row.m.ns_per_tuple());
+      os << buf;
+    }
+    os << "\n";
+  }
+  for (const QueryRow& q : query_rows) {
+    os << "  query " << q.name << ": outputs=" << q.outputs << "\n";
+  }
+  return os.str();
+}
+
+std::string EngineMetrics::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("engine")
+      .BeginObject()
+      .KV("metrics_compiled", metrics_compiled)
+      .KV("queries", queries)
+      .KV("live_mops", live_mops)
+      .KV("shared_mops", shared_mops)
+      .KV("private_mops", private_mops)
+      .KV("total_members", total_members)
+      .KV("wired_channels", wired_channels)
+      .KV("mops_per_query", mops_per_query)
+      .KV("deliveries", deliveries)
+      .EndObject();
+  w.Key("optimize")
+      .BeginObject()
+      .KV("cse_merges", optimize.cse_merges)
+      .KV("predicate_index_merges", optimize.predicate_index_merges)
+      .KV("shared_aggregate_merges", optimize.shared_aggregate_merges)
+      .KV("shared_join_merges", optimize.shared_join_merges)
+      .KV("channel_merges", optimize.channel_merges)
+      .KV("dynamic_adds", optimize.dynamic_adds)
+      .KV("dynamic_removes", optimize.dynamic_removes)
+      .KV("incremental_cse_merges", optimize.incremental_cse_merges)
+      .KV("incremental_attach_merges", optimize.incremental_attach_merges)
+      .KV("incremental_rule_merges", optimize.incremental_rule_merges)
+      .KV("pruned_mops", optimize.pruned_mops)
+      .KV("pruned_members", optimize.pruned_members)
+      .EndObject();
+  w.Key("fast_paths")
+      .BeginObject()
+      .Key("program")
+      .BeginObject()
+      .KV("fused", program_fused)
+      .KV("typed", program_typed)
+      .KV("generic", program_generic)
+      .KV("typed_fallbacks", program_typed_fallbacks)
+      .KV("vectorized_share", vectorized_share())
+      .EndObject()
+      .Key("predicate_index")
+      .BeginObject()
+      .KV("flat_probes", flat_probes)
+      .KV("map_probes", map_probes)
+      .KV("flat_share", flat_probe_share())
+      .EndObject()
+      .Key("tuple_arena")
+      .BeginObject()
+      .KV("requests", arena_requests)
+      .KV("heap_allocations", arena_heap_allocations)
+      .KV("recycle_hit_rate", arena_recycle_hit_rate())
+      .KV("pooled", arena_pooled)
+      .KV("outstanding", arena_outstanding)
+      .EndObject()
+      .EndObject();
+  w.Key("mops").BeginArray();
+  for (const MopRow& row : mops) {
+    w.BeginObject()
+        .KV("id", static_cast<int64_t>(row.id))
+        .KV("name", row.name)
+        .KV("type", row.type)
+        .KV("members", row.members)
+        .KV("query_refs", row.query_refs)
+        .KV("tuples_in", row.m.tuples_in)
+        .KV("tuples_out", row.m.tuples_out)
+        .KV("selectivity", row.m.selectivity())
+        .KV("batches", row.m.batches)
+        .KV("sampled_evals", row.m.sampled_evals)
+        .KV("sampled_tuples", row.m.sampled_tuples)
+        .KV("eval_ns", row.m.eval_ns)
+        .KV("ns_per_tuple", row.m.ns_per_tuple())
+        .EndObject();
+  }
+  w.EndArray();
+  w.Key("queries").BeginArray();
+  for (const QueryRow& q : query_rows) {
+    w.BeginObject().KV("name", q.name).KV("outputs", q.outputs).EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace rumor

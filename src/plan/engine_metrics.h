@@ -1,0 +1,107 @@
+// EngineMetrics — one self-contained snapshot of everything the runtime
+// knows about a (possibly running) shared plan: sharing quality (the
+// paper's m-ops-per-query argument), per-m-op tuple counters and sampled
+// costs, and the fast-path efficacy counters of the data plane (vectorized
+// predicate evaluation, flat index probes, tuple-arena recycling).
+//
+// Collected by StreamEngine::CollectMetrics() (or CollectEngineMetrics for
+// raw Plan/Executor users); serializes to human text (ToString) and JSON
+// (ToJson, via common/json_writer — schema documented in the README's
+// Observability section).
+#ifndef RUMOR_PLAN_ENGINE_METRICS_H_
+#define RUMOR_PLAN_ENGINE_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "plan/plan.h"
+#include "rules/rule_engine.h"
+
+namespace rumor {
+
+struct EngineMetrics {
+  // True when the library was compiled with the metrics layer (the
+  // RUMOR_METRICS CMake toggle); counters are all zero otherwise.
+  bool metrics_compiled = RUMOR_METRICS_ENABLED != 0;
+
+  // --- plan shape / sharing quality ---------------------------------------
+  int queries = 0;
+  int live_mops = 0;
+  int wired_channels = 0;
+  int shared_mops = 0;   // reached by > 1 query
+  int private_mops = 0;  // reached by <= 1 query
+  int total_members = 0;
+  double mops_per_query = 0.0;
+  int64_t deliveries = 0;  // executor scheduling work so far
+
+  // Merge history (static Start() pass + dynamic churn).
+  OptimizeStats optimize;
+
+  // --- per-m-op runtime rows ----------------------------------------------
+  struct MopRow {
+    MopId id = kInvalidMop;
+    std::string name;
+    const char* type = "";
+    int members = 0;
+    int query_refs = 0;  // queries whose output depends on this m-op
+    MopMetrics m;
+  };
+  std::vector<MopRow> mops;
+
+  // --- per-query rows (filled by StreamEngine; empty for raw plans) --------
+  struct QueryRow {
+    std::string name;
+    int64_t outputs = 0;  // results delivered so far
+  };
+  std::vector<QueryRow> query_rows;
+
+  // --- fast-path efficacy ---------------------------------------------------
+  // Predicate evaluation on this thread (fused/typed vs generic).
+  int64_t program_fused = 0;
+  int64_t program_typed = 0;
+  int64_t program_generic = 0;
+  int64_t program_typed_fallbacks = 0;
+  // Predicate-index probes, summed over the plan's sσ m-ops.
+  int64_t flat_probes = 0;
+  int64_t map_probes = 0;
+  // This thread's tuple arena.
+  int64_t arena_requests = 0;
+  int64_t arena_heap_allocations = 0;
+  int64_t arena_pooled = 0;
+  int64_t arena_outstanding = 0;
+
+  double vectorized_share() const {
+    const int64_t t = program_fused + program_typed + program_generic;
+    return t > 0
+               ? static_cast<double>(program_fused + program_typed) / t
+               : 0.0;
+  }
+  double flat_probe_share() const {
+    const int64_t t = flat_probes + map_probes;
+    return t > 0 ? static_cast<double>(flat_probes) / t : 0.0;
+  }
+  double arena_recycle_hit_rate() const {
+    return arena_requests > 0
+               ? static_cast<double>(arena_requests - arena_heap_allocations) /
+                     arena_requests
+               : 0.0;
+  }
+
+  // Human-readable report (sections mirror the JSON schema).
+  std::string ToString() const;
+  // The full snapshot as a JSON document (valid per JsonLint).
+  std::string ToJson() const;
+};
+
+// Builds the snapshot from a plan: shape, sharing quality, per-m-op rows,
+// probe counters, plus the calling thread's program/arena counters.
+// `deliveries` is Executor::deliveries() (0 if not running). query_rows is
+// left empty — only the engine knows query names and delivered counts.
+EngineMetrics CollectEngineMetrics(const Plan& plan,
+                                   const OptimizeStats& optimize,
+                                   int64_t deliveries);
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_ENGINE_METRICS_H_

@@ -1,8 +1,19 @@
 #include "plan/executor.h"
 
+#include <chrono>
 #include <deque>
 
 namespace rumor {
+
+#if RUMOR_METRICS_ENABLED
+namespace {
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+#endif
 
 // Adapter handing an m-op's emissions back to the executor with the emitting
 // m-op's identity attached. Emissions are staged in emit_scratch_ and pushed
@@ -269,7 +280,21 @@ void Executor::Drain() {
       Mop& mop = plan_->mop(task.end.mop);
       mop.CountIn();
       PortEmitter emitter(this, task.end.mop);
+#if RUMOR_METRICS_ENABLED
+      if (metrics_options_.sample_every_n > 0 && --metrics_countdown_ <= 0) {
+        metrics_countdown_ = metrics_options_.sample_every_n;
+        const int64_t t0 = MonotonicNs();
+        mop.Process(task.end.port, task.tuple, emitter);
+        MopMetrics& m = mop.mutable_metrics();
+        m.eval_ns += MonotonicNs() - t0;
+        ++m.sampled_evals;
+        ++m.sampled_tuples;
+      } else {
+        mop.Process(task.end.port, task.tuple, emitter);
+      }
+#else
       mop.Process(task.end.port, task.tuple, emitter);
+#endif
       emitter.Flush();
     }
   }
@@ -299,8 +324,23 @@ void Executor::RunBatch(ChannelId root) {
       deliveries_ += n;
       Mop& mop = plan_->mop(end.mop);
       mop.CountIn(n);
+      mop.CountBatch();
       BatchEmitter emitter(this, end.mop);
+#if RUMOR_METRICS_ENABLED
+      if (metrics_options_.sample_every_n > 0 && --metrics_countdown_ <= 0) {
+        metrics_countdown_ = metrics_options_.sample_every_n;
+        const int64_t t0 = MonotonicNs();
+        mop.ProcessBatch(end.port, buffer.data(), buffer.size(), emitter);
+        MopMetrics& m = mop.mutable_metrics();
+        m.eval_ns += MonotonicNs() - t0;
+        ++m.sampled_evals;
+        m.sampled_tuples += n;
+      } else {
+        mop.ProcessBatch(end.port, buffer.data(), buffer.size(), emitter);
+      }
+#else
       mop.ProcessBatch(end.port, buffer.data(), buffer.size(), emitter);
+#endif
       while (!touched_channels_.empty()) {
         batch_stack_.push_back(touched_channels_.back());
         touched_channels_.pop_back();

@@ -145,6 +145,14 @@ class Executor {
   // Tuples delivered to m-op inputs so far (scheduling work measure).
   int64_t deliveries() const { return deliveries_; }
 
+  // Adjusts the metrics sampling knob (common/metrics.h); takes effect on
+  // the next push. No-op when metrics are compiled out.
+  void SetMetricsOptions(const MetricsOptions& options) {
+    metrics_options_ = options;
+    metrics_countdown_ = options.sample_every_n;
+  }
+  const MetricsOptions& metrics_options() const { return metrics_options_; }
+
  private:
   struct Route {
     std::vector<ChannelEnd> consumers;
@@ -196,6 +204,12 @@ class Executor {
   std::vector<ChannelId> source_route_;  // by stream id (source streams)
   std::vector<int8_t> batch_safe_;       // by channel id; -1 = not computed
   int64_t deliveries_ = 0;
+
+  // Sampled m-op timing: every sample_every_n-th invocation (per-tuple
+  // delivery or ProcessBatch call) is wall-clock timed into the m-op's
+  // MopMetrics; the only per-invocation cost is one countdown decrement.
+  MetricsOptions metrics_options_;
+  int metrics_countdown_ = MetricsOptions{}.sample_every_n;
 
   // Event-at-a-time work stack (member, so buffers are reused across
   // pushes). `draining_` guards against re-entrant drains.

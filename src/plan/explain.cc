@@ -1,6 +1,7 @@
 #include "plan/explain.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/str_util.h"
 #include <sstream>
@@ -46,6 +47,50 @@ std::string ExplainPlan(const Plan& plan, const ExplainOptions& options) {
       }
       os << "}\n";
     }
+  }
+  if (options.include_outputs) {
+    for (const Plan::OutputDef& def : plan.outputs()) {
+      os << "  output " << def.query_name << " <- "
+         << plan.streams().Get(def.stream).name << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string ExplainAnalyze(const Plan& plan,
+                           const ExplainAnalyzeOptions& options) {
+  std::ostringstream os;
+  os << SummarizePlan(plan) << "\n";
+  const std::vector<int> refs = plan.QueryRefCounts();
+  char buf[128];
+  for (MopId id : plan.LiveMops()) {
+    const Mop& mop = plan.mop(id);
+    os << "  " << mop.name();
+    os << "  reads[";
+    const auto& ins = plan.input_channels(id);
+    for (size_t p = 0; p < ins.size(); ++p) {
+      if (p) os << ",";
+      os << "ch" << ins[p];
+    }
+    os << "] writes[";
+    const auto& outs = plan.output_channels(id);
+    for (size_t p = 0; p < outs.size(); ++p) {
+      if (p) os << ",";
+      os << "ch" << outs[p];
+    }
+    os << "]  queries=" << refs[id] << " members=" << mop.num_members()
+       << "\n";
+    const MopMetrics& m = mop.metrics();
+    os << "      in=" << m.tuples_in << " out=" << m.tuples_out;
+    std::snprintf(buf, sizeof(buf), " sel=%.4f", m.selectivity());
+    os << buf << " batches=" << m.batches;
+    if (options.include_timing && m.sampled_tuples > 0) {
+      std::snprintf(buf, sizeof(buf), " ns/tuple≈%.1f (%lld sampled)",
+                    m.ns_per_tuple(),
+                    static_cast<long long>(m.sampled_tuples));
+      os << buf;
+    }
+    os << "\n";
   }
   if (options.include_outputs) {
     for (const Plan::OutputDef& def : plan.outputs()) {

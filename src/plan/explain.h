@@ -22,6 +22,25 @@ struct ExplainOptions {
 std::string ExplainPlan(const Plan& plan,
                         const ExplainOptions& options = ExplainOptions());
 
+struct ExplainAnalyzeOptions {
+  bool include_timing = true;   // sampled ns/tuple where available
+  bool include_outputs = true;  // query output lines
+};
+
+// EXPLAIN ANALYZE: the plan tree annotated with live runtime metrics — per
+// m-op member count, query reach (shared vs private), tuples in/out,
+// selectivity, batch count, and (sampled) per-tuple cost. On a merged
+// N-query plan this is the view that shows exactly where events die:
+//
+//   σ-index#2[100]  reads[ch0] writes[ch1]  queries=100 members=100
+//       in=300000 out=11930 sel=0.0398 batches=4688 ns/tuple≈210.4
+//
+// Counters are zero before execution (and when compiled with
+// RUMOR_METRICS=OFF).
+std::string ExplainAnalyze(
+    const Plan& plan,
+    const ExplainAnalyzeOptions& options = ExplainAnalyzeOptions());
+
 // One-line summary: "#m-ops, #channels (max capacity), #queries".
 std::string SummarizePlan(const Plan& plan);
 

@@ -8,7 +8,7 @@ std::string ThroughputResult::ToString() const {
   std::ostringstream os;
   os << events << " events in " << seconds << "s ("
      << static_cast<int64_t>(EventsPerSecond()) << " ev/s), " << outputs
-     << " outputs";
+     << " outputs (" << static_cast<int64_t>(OutputsPerSecond()) << " out/s)";
   return os.str();
 }
 

@@ -27,10 +27,17 @@ struct ThroughputResult {
   int64_t outputs = 0;
   double seconds = 0.0;
 
-  double EventsPerSecond() const {
-    return seconds > 0 ? static_cast<double>(events) / seconds : 0.0;
-  }
+  // Both rates guard seconds == 0 the same way (a run too fast to time
+  // reports 0 rather than inf); benches format through these instead of
+  // dividing locally.
+  double EventsPerSecond() const { return Rate(events); }
+  double OutputsPerSecond() const { return Rate(outputs); }
   std::string ToString() const;
+
+ private:
+  double Rate(int64_t n) const {
+    return seconds > 0 ? static_cast<double>(n) / seconds : 0.0;
+  }
 };
 
 }  // namespace rumor

@@ -1,5 +1,6 @@
 #include "rules/rule_engine.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace rumor {
@@ -17,6 +18,14 @@ std::string OptimizeStats::ToString() const {
        << " inc_rules=" << incremental_rule_merges
        << " pruned_mops=" << pruned_mops
        << " pruned_members=" << pruned_members;
+  }
+  if (queries > 0) {
+    os << " | sharing: " << queries << " queries -> " << live_mops
+       << " m-ops (" << total_members << " members, " << shared_mops
+       << " shared)";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", %.2f m-ops/query", mops_per_query());
+    os << buf;
   }
   os << "}";
   return os.str();
@@ -86,8 +95,22 @@ OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options) {
     }
   }
   stats.rounds = options.max_rounds;
+  FillSharingQuality(*plan, &stats);
   plan->Validate();
   return stats;
+}
+
+void FillSharingQuality(const Plan& plan, OptimizeStats* stats) {
+  stats->queries = static_cast<int>(plan.outputs().size());
+  stats->live_mops = 0;
+  stats->total_members = 0;
+  stats->shared_mops = 0;
+  const std::vector<int> refs = plan.QueryRefCounts();
+  for (MopId id : plan.LiveMops()) {
+    ++stats->live_mops;
+    stats->total_members += plan.mop(id).num_members();
+    if (refs[id] > 1) ++stats->shared_mops;
+  }
 }
 
 }  // namespace rumor

@@ -54,6 +54,26 @@ struct OptimizeStats {
   int pruned_mops = 0;
   int pruned_members = 0;
 
+  // --- sharing quality (ROADMAP: "report sharing quality in OptimizeStats") --
+  // Snapshot of the current plan, filled by Optimize(). NOT refreshed by
+  // live add/remove (the refcount walk would tax the latency-critical add
+  // path); StreamEngine::CollectMetrics() recomputes it on demand.
+  int queries = 0;       // query outputs the plan serves
+  int live_mops = 0;     // m-ops actually scheduled
+  int total_members = 0; // member operators those m-ops implement
+  int shared_mops = 0;   // m-ops reached by more than one query
+
+  // The paper's fig9/fig10 argument in one number: how many m-ops each
+  // query costs after merging (1.0/N best case for N identical queries).
+  double mops_per_query() const {
+    return queries > 0 ? static_cast<double>(live_mops) / queries : 0.0;
+  }
+  // Operator-collapse factor: members implemented per scheduled m-op.
+  double members_per_mop() const {
+    return live_mops > 0 ? static_cast<double>(total_members) / live_mops
+                         : 0.0;
+  }
+
   // Merges performed at Start() (the static optimization pass).
   int total() const {
     return cse_merges + predicate_index_merges + shared_aggregate_merges +
@@ -86,6 +106,11 @@ class RuleEngine {
 // Computes SharableAnalysis on `plan`, registers the Table-1 rules enabled
 // in `options`, and runs the engine to a fixpoint.
 OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options = {});
+
+// Recomputes the sharing-quality snapshot fields of `stats` from the current
+// plan (queries, live m-ops, members, shared m-ops). Optimize() calls this;
+// CollectEngineMetrics performs the same sync for a running engine.
+void FillSharingQuality(const Plan& plan, OptimizeStats* stats);
 
 }  // namespace rumor
 

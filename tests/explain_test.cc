@@ -53,6 +53,35 @@ TEST(ExplainTest, ShowsChannelCapacityAfterOptimization) {
   EXPECT_NE(report.find("max capacity 3"), std::string::npos) << report;
 }
 
+// The ExplainAnalyze golden shape: on a 2-query plan whose σs CSE-merge into
+// one shared m-op, the report names the m-op with its query reach and live
+// tuple counters, and stays deterministic with timing turned off.
+TEST(ExplainTest, ExplainAnalyzeAnnotatesLiveCounters) {
+  Plan plan;
+  auto s = QueryBuilder::FromSource("S", Schema::MakeInts(3));
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 1").Build("Q1"), &plan).ok());
+  ASSERT_TRUE(CompileQuery(s.Select("a0 = 1").Build("Q2"), &plan).ok());
+  Optimize(&plan);
+  CountingSink sink;
+  Executor exec(&plan, &sink);
+  exec.Prepare();
+  StreamId src = *plan.streams().FindSource("S");
+  exec.PushSource(src, Tuple::MakeInts({1, 0, 0}, 0));
+  exec.PushSource(src, Tuple::MakeInts({2, 0, 0}, 1));
+  exec.PushSource(src, Tuple::MakeInts({1, 0, 0}, 2));
+
+  ExplainAnalyzeOptions opts;
+  opts.include_timing = false;  // sampled timing is nondeterministic
+  std::string report = ExplainAnalyze(plan, opts);
+  // Both queries ride the one CSE-merged σ: 3 in, 2 out, sel 2/3.
+  EXPECT_NE(report.find("queries=2"), std::string::npos) << report;
+  EXPECT_NE(report.find("in=3 out=2"), std::string::npos) << report;
+  EXPECT_NE(report.find("sel=0.6667"), std::string::npos) << report;
+  EXPECT_NE(report.find("output Q1"), std::string::npos) << report;
+  EXPECT_NE(report.find("output Q2"), std::string::npos) << report;
+  EXPECT_EQ(report.find("ns/tuple"), std::string::npos) << report;
+}
+
 TEST(ExplainTest, CountersDisabledOnRequest) {
   Plan plan;
   auto s = QueryBuilder::FromSource("S", Schema::MakeInts(3));
