@@ -72,6 +72,15 @@ Status StreamEngine::RegisterSource(const std::string& name, Schema schema,
   return Status::OK();
 }
 
+Status StreamEngine::SetShardCount(int n) {
+  if (n < 1) return Status::InvalidArgument("shard count must be >= 1");
+  if (started()) {
+    return Status::Internal("SetShardCount must be called before Start()");
+  }
+  shard_count_ = n;
+  return Status::OK();
+}
+
 int StreamEngine::FindQuery(const std::string& name) const {
   // Case-insensitive, matching Catalog resolution — otherwise two queries
   // differing only in case would collide in the catalog, and removing one
@@ -116,6 +125,40 @@ Status StreamEngine::AddScript(const std::string& rql) {
 }
 
 Status StreamEngine::AddQueryLive(Query query) {
+  if (sharded_ != nullptr) {
+    if (sharded_->busy()) {
+      return Status::Internal("cannot add queries from inside a push");
+    }
+    // Quiesce-merge-resume: the compile + incremental merge runs once per
+    // shard ON that shard's worker thread (replicas stay identical because
+    // the sequence is deterministic), so backfill tuples land on the arena
+    // of the thread that owns them.
+    std::vector<IncrementalMergeStats> merged(sharded_->num_shards());
+    Status st = sharded_->MutateShards(
+        [&](int shard, Plan& plan, Executor& exec) -> Status {
+          Plan::Marker marker = plan.Mark();
+          auto compiled = CompileQuery(query, &plan);
+          if (!compiled.ok()) {
+            plan.RollbackTo(marker);
+            return compiled.status();
+          }
+          merged[shard] = MergeNewQuery(&plan, options_);
+          exec.Refresh();
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+    stats_.dynamic_adds += 1;
+    stats_.incremental_cse_merges += merged[0].cse_merges;
+    stats_.incremental_attach_merges += merged[0].attach_merges;
+    stats_.incremental_rule_merges += merged[0].rule_merges;
+    auto out = sharded_->plan(0).OutputStreamOf(query.name);
+    RUMOR_CHECK(out.has_value());
+    sink_->Bind(*out, query.name);
+    RefreshSourceIds();
+    catalog_.AddQuery(query);
+    queries_.push_back(std::move(query));
+    return Status::OK();
+  }
   if (executor_->busy()) {
     return Status::Internal("cannot add queries from inside a push");
   }
@@ -155,7 +198,25 @@ Status StreamEngine::RemoveQuery(const std::string& name) {
   // The lookup is case-insensitive; the plan and sink know the query by its
   // registered spelling.
   const std::string canonical = queries_[index].name;
-  if (started()) {
+  if (sharded_ != nullptr) {
+    if (sharded_->busy()) {
+      return Status::Internal("cannot remove queries from inside a push");
+    }
+    std::vector<PruneStats> pruned(sharded_->num_shards());
+    Status st = sharded_->MutateShards(
+        [&](int shard, Plan& plan, Executor& exec) -> Status {
+          RUMOR_CHECK(plan.UnmarkOutput(canonical));
+          pruned[shard] = PruneUnreachable(&plan);
+          exec.Refresh();
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+    sink_->Unbind(canonical);
+    stats_.dynamic_removes += 1;
+    stats_.pruned_mops += pruned[0].removed_mops;
+    stats_.pruned_members +=
+        pruned[0].pruned_index_members + pruned[0].deactivated_members;
+  } else if (started()) {
     if (executor_->busy()) {
       return Status::Internal("cannot remove queries from inside a push");
     }
@@ -178,6 +239,37 @@ Status StreamEngine::RemoveQuery(const std::string& name) {
 Status StreamEngine::Start() {
   if (started()) return Status::Internal("engine already started");
   if (queries_.empty()) return Status::InvalidArgument("no queries added");
+  if (shard_count_ > 1) {
+    sink_ = std::make_unique<HandlerSink>();
+    sink_->SetHandler(&handler_);
+    ShardedExecutor::Options sharded_options;
+    sharded_options.num_shards = shard_count_;
+    sharded_options.metrics = metrics_options_;
+    // Each worker compiles + optimizes its own replica from the shared
+    // query list (read-only here; both passes are deterministic, so replica
+    // ids line up across shards).
+    PlanFactory factory = [this](Plan* plan, OptimizeStats* stats) -> Status {
+      auto replica = CompileQueries(queries_, plan);
+      if (!replica.ok()) return replica.status();
+      *stats = Optimize(plan, options_);
+      return Status::OK();
+    };
+    sharded_ = std::make_unique<ShardedExecutor>(
+        sharded_options, std::move(factory),
+        static_cast<OutputSink*>(sink_.get()));
+    Status st = sharded_->Prepare();
+    if (!st.ok()) {
+      sharded_.reset();
+      sink_.reset();
+      return st;
+    }
+    stats_ = sharded_->optimize_stats();
+    for (const Plan::OutputDef& def : sharded_->plan(0).outputs()) {
+      sink_->Bind(def.stream, def.query_name);
+    }
+    RefreshSourceIds();
+    return Status::OK();
+  }
   auto compiled = CompileQueries(queries_, &plan_);
   if (!compiled.ok()) return compiled.status();
   stats_ = Optimize(&plan_, options_);
@@ -194,10 +286,15 @@ Status StreamEngine::Start() {
   return Status::OK();
 }
 
+const Plan& StreamEngine::ActivePlan() const {
+  return sharded_ != nullptr ? sharded_->plan(0) : plan_;
+}
+
 void StreamEngine::RefreshSourceIds() {
+  const Plan& plan = ActivePlan();
   source_ids_.clear();
-  for (StreamId s : plan_.streams().Sources()) {
-    source_ids_.push_back({plan_.streams().Get(s).name, s});
+  for (StreamId s : plan.streams().Sources()) {
+    source_ids_.push_back({plan.streams().Get(s).name, s});
   }
 }
 
@@ -213,6 +310,15 @@ Result<StreamId> StreamEngine::FindSourceId(const std::string& source) const {
 Status StreamEngine::Push(const std::string& source, const Tuple& tuple) {
   auto id = FindSourceId(source);
   if (!id.ok()) return id.status();
+  if (sharded_ != nullptr) {
+    if (sharded_->busy()) {
+      return Status::Internal(
+          "re-entrant push from an output handler is unsupported when "
+          "sharded");
+    }
+    sharded_->PushSource(id.value(), tuple);
+    return Status::OK();
+  }
   executor_->PushSource(id.value(), tuple);
   return Status::OK();
 }
@@ -221,8 +327,21 @@ Status StreamEngine::PushBatch(const std::string& source,
                                std::span<const Tuple> tuples) {
   auto id = FindSourceId(source);
   if (!id.ok()) return id.status();
+  if (sharded_ != nullptr) {
+    if (sharded_->busy()) {
+      return Status::Internal(
+          "re-entrant push from an output handler is unsupported when "
+          "sharded");
+    }
+    sharded_->PushSourceBatch(id.value(), tuples);
+    return Status::OK();
+  }
   executor_->PushSourceBatch(id.value(), tuples);
   return Status::OK();
+}
+
+void StreamEngine::Flush() {
+  if (sharded_ != nullptr) sharded_->Flush();
 }
 
 int64_t StreamEngine::OutputCount(const std::string& query_name) const {
@@ -230,14 +349,43 @@ int64_t StreamEngine::OutputCount(const std::string& query_name) const {
 }
 
 std::string StreamEngine::Explain() const {
-  return ExplainPlan(plan_);
+  if (sharded_ == nullptr) return ExplainPlan(plan_);
+  sharded_->Flush();
+  return ExplainPlan(sharded_->plan(0)) +
+         sharded_->sharding().ToString(sharded_->plan(0));
 }
 
 std::string StreamEngine::ExplainAnalyze() const {
-  return rumor::ExplainAnalyze(plan_);
+  // Sharded: replicas carry identical structure; shard 0's counters stand in
+  // (CollectMetrics aggregates across all shards).
+  if (sharded_ != nullptr) sharded_->Flush();
+  return rumor::ExplainAnalyze(ActivePlan());
 }
 
 EngineMetrics StreamEngine::CollectMetrics() const {
+  if (sharded_ != nullptr) {
+    sharded_->Flush();
+    EngineMetrics em = CollectEngineMetrics(sharded_->plan(0), stats_, 0);
+    em.shards = sharded_->num_shards();
+    em.shard_rows = sharded_->ShardRows();
+    // Per-m-op rows: sum every replica's counters by m-op id. Data-plane
+    // counters: sum each worker's published snapshot plus this (control)
+    // thread's own, which pays for the ordered-merge decode.
+    DataPlaneCounters totals = DataPlaneCounters::Capture();
+    int64_t deliveries = 0;
+    for (const EngineMetrics::ShardRow& row : em.shard_rows) {
+      if (row.shard > 0) AccumulateShardPlan(&em, sharded_->plan(row.shard));
+      totals += row.counters;
+      deliveries += row.deliveries;
+    }
+    em.deliveries = deliveries;
+    SetDataPlaneCounters(&em, totals);
+    em.queries = num_queries();
+    for (const Query& q : queries_) {
+      em.query_rows.push_back({q.name, OutputCount(q.name)});
+    }
+    return em;
+  }
   EngineMetrics em = CollectEngineMetrics(
       plan_, stats_, executor_ != nullptr ? executor_->deliveries() : 0);
   // Only the engine knows live query names and delivered counts; a raw-plan

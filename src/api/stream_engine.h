@@ -34,6 +34,7 @@
 #include "plan/compile.h"
 #include "plan/engine_metrics.h"
 #include "plan/executor.h"
+#include "plan/sharded_executor.h"
 #include "query/parser.h"
 #include "rules/rule_engine.h"
 
@@ -47,8 +48,19 @@ class StreamEngine {
   // Engine lifecycle: configuring (before Start) or running (after).
   enum class State { kConfiguring, kRunning };
   State state() const {
-    return executor_ == nullptr ? State::kConfiguring : State::kRunning;
+    return started() ? State::kRunning : State::kConfiguring;
   }
+
+  // Partition-parallel execution: run the shared plan on `n` worker threads
+  // (plan/sharded_executor.h). n == 1 (the default) keeps the original
+  // single-threaded executor — byte-identical behavior, zero new overhead.
+  // With n > 1, Start() spawns one plan replica + worker per shard and
+  // Push/PushBatch route tuples by the AnalyzeSharding table; the output
+  // handler still runs on the pushing thread, with outputs merged in
+  // epoch-major, shard-minor order (per-key order on partitioned routes is
+  // exactly the single-threaded order). Must be called before Start().
+  Status SetShardCount(int n);
+  int shard_count() const { return shard_count_; }
 
   // --- setup ------------------------------------------------------------------
   // Registers an input stream; `sharable_label` marks base-case-2 sharable
@@ -96,8 +108,13 @@ class StreamEngine {
   // batching could reorder stateful work).
   Status PushBatch(const std::string& source, std::span<const Tuple> tuples);
 
+  // Blocks until every pushed tuple is fully processed and every output
+  // delivered to the handler. No-op in single-threaded mode, where Push
+  // already returns only after full propagation.
+  void Flush();
+
   // --- observability -----------------------------------------------------------
-  bool started() const { return executor_ != nullptr; }
+  bool started() const { return executor_ != nullptr || sharded_ != nullptr; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
   // Cumulative: Start()-time merge counts plus the dynamic_* /
   // incremental_* fields maintained by live AddQuery/RemoveQuery.
@@ -132,6 +149,9 @@ class StreamEngine {
   Status AddQueryLive(Query query);
   // Re-derives the source name -> stream id table from the plan.
   void RefreshSourceIds();
+  // The plan queries run against: shard 0's replica when sharded (callers
+  // must quiesce first), the engine-owned plan otherwise.
+  const Plan& ActivePlan() const;
 
   OptimizerOptions options_;
   MetricsOptions metrics_options_;
@@ -143,6 +163,10 @@ class StreamEngine {
   OptimizeStats stats_;
   std::unique_ptr<HandlerSink> sink_;
   std::unique_ptr<Executor> executor_;
+  // Declared after sink_ so workers are joined (and all pending outputs
+  // merged) before the sink they deliver into is destroyed.
+  int shard_count_ = 1;
+  std::unique_ptr<ShardedExecutor> sharded_;
   // Source name -> stream id (resolved at Start / refreshed on live adds).
   std::vector<std::pair<std::string, StreamId>> source_ids_;
 };

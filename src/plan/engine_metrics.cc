@@ -10,6 +10,63 @@
 
 namespace rumor {
 
+DataPlaneCounters DataPlaneCounters::Capture() {
+  DataPlaneCounters c;
+  const ProgramCounters& pc = Program::counters();
+  c.program_fused = pc.fused;
+  c.program_typed = pc.typed;
+  c.program_generic = pc.generic;
+  c.program_typed_fallbacks = pc.typed_fallbacks;
+  const TupleArena* arena = TupleArena::Default();
+  c.arena_requests = arena->requests();
+  c.arena_heap_allocations = arena->allocations();
+  c.arena_pooled = arena->pooled();
+  c.arena_outstanding = arena->outstanding();
+  return c;
+}
+
+DataPlaneCounters& DataPlaneCounters::operator+=(const DataPlaneCounters& o) {
+  program_fused += o.program_fused;
+  program_typed += o.program_typed;
+  program_generic += o.program_generic;
+  program_typed_fallbacks += o.program_typed_fallbacks;
+  arena_requests += o.arena_requests;
+  arena_heap_allocations += o.arena_heap_allocations;
+  arena_pooled += o.arena_pooled;
+  arena_outstanding += o.arena_outstanding;
+  return *this;
+}
+
+void AccumulateShardPlan(EngineMetrics* em, const Plan& shard_plan) {
+  for (EngineMetrics::MopRow& row : em->mops) {
+    if (!shard_plan.IsLive(row.id)) continue;
+    const Mop& mop = shard_plan.mop(row.id);
+    const MopMetrics& m = mop.metrics();
+    row.m.tuples_in += m.tuples_in;
+    row.m.tuples_out += m.tuples_out;
+    row.m.batches += m.batches;
+    row.m.sampled_evals += m.sampled_evals;
+    row.m.sampled_tuples += m.sampled_tuples;
+    row.m.eval_ns += m.eval_ns;
+    if (mop.type() == MopType::kPredicateIndex) {
+      const auto& index = static_cast<const PredicateIndexMop&>(mop);
+      em->flat_probes += index.flat_probes();
+      em->map_probes += index.map_probes();
+    }
+  }
+}
+
+void SetDataPlaneCounters(EngineMetrics* em, const DataPlaneCounters& t) {
+  em->program_fused = t.program_fused;
+  em->program_typed = t.program_typed;
+  em->program_generic = t.program_generic;
+  em->program_typed_fallbacks = t.program_typed_fallbacks;
+  em->arena_requests = t.arena_requests;
+  em->arena_heap_allocations = t.arena_heap_allocations;
+  em->arena_pooled = t.arena_pooled;
+  em->arena_outstanding = t.arena_outstanding;
+}
+
 EngineMetrics CollectEngineMetrics(const Plan& plan,
                                    const OptimizeStats& optimize,
                                    int64_t deliveries) {
@@ -60,17 +117,7 @@ EngineMetrics CollectEngineMetrics(const Plan& plan,
   em.optimize.total_members = em.total_members;
   em.optimize.shared_mops = em.shared_mops;
 
-  const ProgramCounters& pc = Program::counters();
-  em.program_fused = pc.fused;
-  em.program_typed = pc.typed;
-  em.program_generic = pc.generic;
-  em.program_typed_fallbacks = pc.typed_fallbacks;
-
-  const TupleArena* arena = TupleArena::Default();
-  em.arena_requests = arena->requests();
-  em.arena_heap_allocations = arena->allocations();
-  em.arena_pooled = arena->pooled();
-  em.arena_outstanding = arena->outstanding();
+  SetDataPlaneCounters(&em, DataPlaneCounters::Capture());
   return em;
 }
 
@@ -105,6 +152,20 @@ std::string EngineMetrics::ToString() const {
                 arena_recycle_hit_rate(), static_cast<long long>(arena_pooled),
                 static_cast<long long>(arena_outstanding));
   os << buf << "\n";
+  if (shards > 1) {
+    os << "sharded over " << shards << " workers:\n";
+    for (const ShardRow& s : shard_rows) {
+      std::snprintf(buf, sizeof(buf),
+                    "  shard %-3d deliveries=%-12lld evals=%lld "
+                    "arena_requests=%lld",
+                    s.shard, static_cast<long long>(s.deliveries),
+                    static_cast<long long>(s.counters.program_fused +
+                                           s.counters.program_typed +
+                                           s.counters.program_generic),
+                    static_cast<long long>(s.counters.arena_requests));
+      os << buf << "\n";
+    }
+  }
   for (const MopRow& row : mops) {
     std::snprintf(buf, sizeof(buf),
                   "  %-18s members=%-5d queries=%-5d in=%-10lld out=%-10lld "
@@ -141,6 +202,7 @@ std::string EngineMetrics::ToJson() const {
       .KV("wired_channels", wired_channels)
       .KV("mops_per_query", mops_per_query)
       .KV("deliveries", deliveries)
+      .KV("shards", shards)
       .EndObject();
   w.Key("optimize")
       .BeginObject()
@@ -182,6 +244,22 @@ std::string EngineMetrics::ToJson() const {
       .KV("outstanding", arena_outstanding)
       .EndObject()
       .EndObject();
+  w.Key("shard_rows").BeginArray();
+  for (const ShardRow& s : shard_rows) {
+    w.BeginObject()
+        .KV("shard", s.shard)
+        .KV("deliveries", s.deliveries)
+        .KV("program_fused", s.counters.program_fused)
+        .KV("program_typed", s.counters.program_typed)
+        .KV("program_generic", s.counters.program_generic)
+        .KV("program_typed_fallbacks", s.counters.program_typed_fallbacks)
+        .KV("arena_requests", s.counters.arena_requests)
+        .KV("arena_heap_allocations", s.counters.arena_heap_allocations)
+        .KV("arena_pooled", s.counters.arena_pooled)
+        .KV("arena_outstanding", s.counters.arena_outstanding)
+        .EndObject();
+  }
+  w.EndArray();
   w.Key("mops").BeginArray();
   for (const MopRow& row : mops) {
     w.BeginObject()

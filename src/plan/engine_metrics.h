@@ -20,6 +20,26 @@
 
 namespace rumor {
 
+// Snapshot of one thread's data-plane fast-path counters: the thread_local
+// ProgramCounters plus the thread's TupleArena stats. Workers of a sharded
+// run capture this before publishing batch completion, so CollectMetrics can
+// aggregate across threads instead of silently reporting only the calling
+// thread's counters.
+struct DataPlaneCounters {
+  int64_t program_fused = 0;
+  int64_t program_typed = 0;
+  int64_t program_generic = 0;
+  int64_t program_typed_fallbacks = 0;
+  int64_t arena_requests = 0;
+  int64_t arena_heap_allocations = 0;
+  int64_t arena_pooled = 0;
+  int64_t arena_outstanding = 0;
+
+  // Counters of the calling thread.
+  static DataPlaneCounters Capture();
+  DataPlaneCounters& operator+=(const DataPlaneCounters& o);
+};
+
 struct EngineMetrics {
   // True when the library was compiled with the metrics layer (the
   // RUMOR_METRICS CMake toggle); counters are all zero otherwise.
@@ -55,6 +75,15 @@ struct EngineMetrics {
     int64_t outputs = 0;  // results delivered so far
   };
   std::vector<QueryRow> query_rows;
+
+  // --- sharded execution (filled when the engine runs >1 shard) ------------
+  int shards = 1;
+  struct ShardRow {
+    int shard = 0;
+    int64_t deliveries = 0;  // that shard executor's scheduling work
+    DataPlaneCounters counters;
+  };
+  std::vector<ShardRow> shard_rows;
 
   // --- fast-path efficacy ---------------------------------------------------
   // Predicate evaluation on this thread (fused/typed vs generic).
@@ -101,6 +130,16 @@ struct EngineMetrics {
 EngineMetrics CollectEngineMetrics(const Plan& plan,
                                    const OptimizeStats& optimize,
                                    int64_t deliveries);
+
+// Folds one shard replica's plan into a snapshot built from shard 0's plan:
+// per-m-op rows are summed by m-op id (replicas compile identically, so ids
+// line up) and predicate-index probe counters accumulate. The caller must
+// only invoke this while the replica's worker is quiesced.
+void AccumulateShardPlan(EngineMetrics* em, const Plan& shard_plan);
+
+// Replaces the snapshot's thread-scoped fast-path counters with `totals`
+// (the sum over every participating thread).
+void SetDataPlaneCounters(EngineMetrics* em, const DataPlaneCounters& totals);
 
 }  // namespace rumor
 

@@ -1,0 +1,332 @@
+#include "plan/shard.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "expr/shape.h"
+#include "mop/aggregate_mop.h"
+#include "mop/join_mop.h"
+#include "mop/projection_mop.h"
+#include "mop/sequence_mop.h"
+
+namespace rumor {
+
+namespace {
+
+// A key requirement: tuples of `source` must be partitioned by `attr`.
+struct KeyReq {
+  StreamId source;
+  int attr;
+};
+
+// One stateful member's routing demand: either every (source, attr) key
+// requirement in `keys` holds simultaneously, or the member is unkeyable and
+// all of `pinned` must run on one shard. Sources across both lists form one
+// co-location component.
+struct Constraint {
+  std::vector<KeyReq> keys;
+  std::vector<StreamId> pinned;
+};
+
+// For per-member-port m-ops the producing member is the output port; in
+// channel-output mode all members share port 0 and — by the c-rule merge
+// conditions — the same definition, so member 0 stands in for all.
+int ProducingMember(const Mop& mop, int port) {
+  return mop.num_outputs() == mop.num_members() ? port : 0;
+}
+
+// Traces "attribute `attr` of tuples on channel `c`" backward to source
+// attributes. Appends one KeyReq per source stream that can originate the
+// attribute; returns false when the attribute is computed (not a plain
+// column reference somewhere along the chain) or the walk hits an operator
+// without positional provenance (µ instances, aggregate columns).
+bool TraceAttr(const Plan& plan, ChannelId c, int attr,
+               std::vector<KeyReq>* out, int depth) {
+  if (depth > plan.num_mops() + 1) return false;  // defensive (plans are DAGs)
+  if (attr < 0 || attr >= plan.channel(c).schema().size()) return false;
+  std::optional<ChannelEnd> prod = plan.ProducerOf(c);
+  if (!prod.has_value()) {
+    // Source channel or source-group channel: the requirement lands on every
+    // encoded source stream.
+    for (StreamId s : plan.channel(c).streams()) {
+      if (!plan.streams().Get(s).is_source) return false;
+      out->push_back(KeyReq{s, attr});
+    }
+    return true;
+  }
+  const Mop& mop = plan.mop(prod->mop);
+  switch (mop.type()) {
+    case MopType::kSelection:
+    case MopType::kChannelSelect:
+    case MopType::kPredicateIndex:
+      // Filters pass the payload through unchanged.
+      return TraceAttr(plan, plan.input_channel(prod->mop, 0), attr, out,
+                       depth + 1);
+    case MopType::kProjection:
+    case MopType::kChannelProject: {
+      const SchemaMap& map =
+          mop.type() == MopType::kProjection
+              ? static_cast<const ProjectionMop&>(mop)
+                    .member(ProducingMember(mop, prod->port))
+                    .def.map
+              : static_cast<const ChannelProjectMop&>(mop).def().map;
+      if (attr >= map.size()) return false;
+      const ExprPtr& e = map.exprs()[attr];
+      if (e == nullptr || e->kind() != ExprKind::kAttr ||
+          e->side() != Side::kLeft) {
+        return false;  // computed or renamed-from-right column
+      }
+      return TraceAttr(plan, plan.input_channel(prod->mop, 0),
+                       e->attr_index(), out, depth + 1);
+    }
+    case MopType::kAggregate:
+    case MopType::kSharedAggregate:
+    case MopType::kFragmentAggregate: {
+      // Output row = (group values..., aggregate): the first |group_by|
+      // columns are the member's group-by inputs, the rest are computed.
+      const auto& agg = static_cast<const AggregateMop&>(mop);
+      const AggMemberSpec& spec =
+          agg.member(ProducingMember(mop, prod->port)).spec;
+      if (attr >= static_cast<int>(spec.group_by.size())) return false;
+      return TraceAttr(plan, plan.input_channel(prod->mop, 0),
+                       spec.group_by[attr], out, depth + 1);
+    }
+    case MopType::kJoin:
+    case MopType::kSharedJoin:
+    case MopType::kPrecisionJoin:
+    case MopType::kSequence:
+    case MopType::kSharedSequence:
+    case MopType::kChannelSequence:
+    case MopType::kZip: {
+      // Output = concat(left payload, right payload).
+      const ChannelId left = plan.input_channel(prod->mop, 0);
+      const ChannelId right = plan.input_channel(prod->mop, 1);
+      const int left_width = plan.channel(left).schema().size();
+      if (attr < left_width) {
+        return TraceAttr(plan, left, attr, out, depth + 1);
+      }
+      return TraceAttr(plan, right, attr - left_width, out, depth + 1);
+    }
+    case MopType::kIterate:
+    case MopType::kSharedIterate:
+    case MopType::kChannelIterate:
+      // µ instances are rebind-mapped accumulations; no positional
+      // provenance.
+      return false;
+  }
+  return false;
+}
+
+// All source streams transitively feeding channel `c`.
+void SourcesOf(const Plan& plan, ChannelId c, std::vector<StreamId>* out,
+               int depth) {
+  if (depth > plan.num_mops() + 1) return;
+  std::optional<ChannelEnd> prod = plan.ProducerOf(c);
+  if (!prod.has_value()) {
+    for (StreamId s : plan.channel(c).streams()) {
+      if (plan.streams().Get(s).is_source) out->push_back(s);
+    }
+    return;
+  }
+  for (ChannelId in : plan.input_channels(prod->mop)) {
+    SourcesOf(plan, in, out, depth + 1);
+  }
+}
+
+Constraint PinAll(const Plan& plan, MopId mop) {
+  Constraint c;
+  for (ChannelId in : plan.input_channels(mop)) {
+    SourcesOf(plan, in, &c.pinned, 0);
+  }
+  return c;
+}
+
+// Key the member on (channel, attr); falls back to pinning the m-op's
+// sources when the attribute cannot be traced to source columns.
+Constraint KeyOrPin(const Plan& plan, MopId mop,
+                    std::initializer_list<std::pair<ChannelId, int>> keys) {
+  Constraint c;
+  for (const auto& [channel, attr] : keys) {
+    if (!TraceAttr(plan, channel, attr, &c.keys, 0)) {
+      return PinAll(plan, mop);
+    }
+  }
+  return c;
+}
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(n) {
+    for (int i = 0; i < n; ++i) parent[i] = i;
+  }
+  int Find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+ShardPlan AnalyzeSharding(const Plan& plan, int num_shards) {
+  RUMOR_CHECK(num_shards >= 1);
+  ShardPlan sp;
+  sp.num_shards = num_shards;
+  sp.routes.assign(plan.streams().size(), StreamRoute{});
+
+  // Pass 1: one constraint per stateful m-op member.
+  std::vector<Constraint> constraints;
+  for (MopId id : plan.LiveMops()) {
+    const Mop& mop = plan.mop(id);
+    switch (mop.type()) {
+      case MopType::kSelection:
+      case MopType::kChannelSelect:
+      case MopType::kPredicateIndex:
+      case MopType::kProjection:
+      case MopType::kChannelProject:
+        break;  // stateless: replicated, no constraint
+      case MopType::kAggregate:
+      case MopType::kSharedAggregate:
+      case MopType::kFragmentAggregate: {
+        const auto& agg = static_cast<const AggregateMop&>(mop);
+        const ChannelId in = plan.input_channel(id, 0);
+        for (int i = 0; i < agg.num_members(); ++i) {
+          if (!agg.member_active(i)) continue;
+          const AggMemberSpec& spec = agg.member(i).spec;
+          constraints.push_back(
+              spec.group_by.empty()
+                  ? PinAll(plan, id)
+                  : KeyOrPin(plan, id, {{in, spec.group_by[0]}}));
+        }
+        break;
+      }
+      case MopType::kJoin:
+      case MopType::kSharedJoin:
+      case MopType::kPrecisionJoin: {
+        const auto& join = static_cast<const JoinMop&>(mop);
+        const ChannelId left = plan.input_channel(id, 0);
+        const ChannelId right = plan.input_channel(id, 1);
+        for (int i = 0; i < join.num_members(); ++i) {
+          const JoinShape shape = AnalyzeJoin(join.member(i).def.predicate);
+          constraints.push_back(
+              shape.equi.empty()
+                  ? PinAll(plan, id)
+                  : KeyOrPin(plan, id,
+                             {{left, shape.equi[0].left_attr},
+                              {right, shape.equi[0].right_attr}}));
+        }
+        break;
+      }
+      case MopType::kSequence:
+      case MopType::kSharedSequence:
+      case MopType::kChannelSequence: {
+        // Consume-on-match only ever consumes instances that *matched*, and
+        // matching implies equality on the equi-key — so key-partitioned
+        // sequence state is exact, same as joins.
+        const auto& seq = static_cast<const SequenceMop&>(mop);
+        const ChannelId left = plan.input_channel(id, 0);
+        const ChannelId right = plan.input_channel(id, 1);
+        for (int i = 0; i < seq.num_members(); ++i) {
+          const JoinShape shape = AnalyzeJoin(seq.member(i).def.predicate);
+          constraints.push_back(
+              shape.equi.empty()
+                  ? PinAll(plan, id)
+                  : KeyOrPin(plan, id,
+                             {{left, shape.equi[0].left_attr},
+                              {right, shape.equi[0].right_attr}}));
+        }
+        break;
+      }
+      case MopType::kIterate:
+      case MopType::kSharedIterate:
+      case MopType::kChannelIterate:
+        // µ rebind state accumulates across all instances; unkeyable.
+        constraints.push_back(PinAll(plan, id));
+        break;
+      case MopType::kZip:
+        // Zip pairs by global arrival rank, which survives partitioning only
+        // when both branches provably see position-identical subsequences —
+        // pin instead of proving it.
+        constraints.push_back(PinAll(plan, id));
+        break;
+    }
+  }
+
+  // Pass 2: co-location components.
+  UnionFind uf(plan.streams().size());
+  for (const Constraint& c : constraints) {
+    StreamId first = kInvalidStream;
+    for (const KeyReq& k : c.keys) {
+      if (first == kInvalidStream) first = k.source;
+      uf.Union(first, k.source);
+    }
+    for (StreamId s : c.pinned) {
+      if (first == kInvalidStream) first = s;
+      uf.Union(first, s);
+    }
+  }
+
+  // Pass 3: per-source key attribute; conflicts or unkeyed members pin the
+  // whole component.
+  std::vector<int> key_attr(plan.streams().size(), -1);
+  std::vector<char> component_pinned(plan.streams().size(), 0);
+  for (const Constraint& c : constraints) {
+    for (StreamId s : c.pinned) component_pinned[uf.Find(s)] = 1;
+    for (const KeyReq& k : c.keys) {
+      if (key_attr[k.source] == -1) {
+        key_attr[k.source] = k.attr;
+      } else if (key_attr[k.source] != k.attr) {
+        component_pinned[uf.Find(k.source)] = 1;
+      }
+    }
+  }
+
+  // Pass 4: routes. Pinned components are spread round-robin over shards in
+  // component order (deterministic: components are ordered by their
+  // smallest source id).
+  std::vector<int> component_shard(plan.streams().size(), -1);
+  int next_pin = 0;
+  for (StreamId s : plan.streams().Sources()) {
+    const int root = uf.Find(s);
+    if (component_pinned[root]) {
+      if (component_shard[root] == -1) {
+        component_shard[root] = next_pin++ % num_shards;
+        ++sp.pinned_components;
+      }
+      sp.routes[s] = StreamRoute{RouteMode::kPinned, -1,
+                                 component_shard[root]};
+      ++sp.pinned_sources;
+    } else if (key_attr[s] != -1) {
+      sp.routes[s] = StreamRoute{RouteMode::kKey, key_attr[s], 0};
+      ++sp.keyed_sources;
+    }  // else: default kAny
+  }
+  return sp;
+}
+
+std::string ShardPlan::ToString(const Plan& plan) const {
+  std::ostringstream os;
+  os << "sharding over " << num_shards << " shard(s): " << keyed_sources
+     << " keyed, " << pinned_sources << " pinned (" << pinned_components
+     << " component(s))\n";
+  for (StreamId s : plan.streams().Sources()) {
+    const StreamRoute& r = routes[s];
+    os << "  " << plan.streams().Get(s).name << ": ";
+    switch (r.mode) {
+      case RouteMode::kAny:
+        os << "any (round-robin)";
+        break;
+      case RouteMode::kKey:
+        os << "hash(attr " << r.key_attr << ")";
+        break;
+      case RouteMode::kPinned:
+        os << "pinned -> shard " << r.pinned_shard;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rumor

@@ -1,0 +1,133 @@
+// SpscQueue<T>: a bounded single-producer/single-consumer ring carrying
+// batches between the ingress router (control thread) and a shard worker.
+//
+// TryPush/TryPop are lock-free: one relaxed load of the own index, one
+// acquire load of the other side's index only when the cached copy says the
+// ring might be full/empty, one release store to publish. The release store
+// on push / acquire load on pop is also the memory fence the sharded
+// executor relies on to hand plain (non-atomic) data — batch shells, plan
+// mutations, counter snapshots — across the thread boundary.
+//
+// WaitNotEmpty/WaitNotFull park the calling thread on the counterpart index
+// via C++20 atomic wait/notify (futex, not a spin) — mandatory on machines
+// with fewer cores than threads, where spinning would starve the thread
+// being waited on.
+//
+// Close() may be called by the *producer only*; it sets a flag bit on the
+// tail counter so parked consumers observe a value change and wake. The
+// consumer drains remaining items normally after close.
+#ifndef RUMOR_PLAN_SPSC_QUEUE_H_
+#define RUMOR_PLAN_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rumor {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two; the ring holds up to that many
+  // items.
+  explicit SpscQueue(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Producer. Returns false when the ring is full (item not consumed).
+  bool TryPush(T v) {
+    const uint64_t t = tail_.v.load(std::memory_order_relaxed);
+    const uint64_t ti = t & kIndexMask;
+    if (ti - head_cache_ > mask_) {  // full relative to the cached head
+      head_cache_ = head_.v.load(std::memory_order_acquire);
+      if (ti - head_cache_ > mask_) return false;
+    }
+    slots_[ti & mask_] = std::move(v);
+    tail_.v.store(t + 1, std::memory_order_release);
+    tail_.v.notify_one();
+    return true;
+  }
+
+  // Consumer. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t h = head_.v.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.v.load(std::memory_order_acquire) & kIndexMask;
+      if (h == tail_cache_) return false;
+    }
+    *out = std::move(slots_[h & mask_]);
+    head_.v.store(h + 1, std::memory_order_release);
+    head_.v.notify_one();
+    return true;
+  }
+
+  // Consumer: parks until an item is pushed or the queue is closed. May
+  // return spuriously; callers loop on TryPop.
+  void WaitNotEmpty() {
+    const uint64_t t = tail_.v.load(std::memory_order_acquire);
+    if ((t & kClosedBit) != 0) return;
+    if ((t & kIndexMask) != head_.v.load(std::memory_order_relaxed)) return;
+    tail_.v.wait(t, std::memory_order_acquire);
+  }
+
+  // Producer: parks until the consumer pops. May return spuriously; callers
+  // loop on TryPush.
+  void WaitNotFull() {
+    const uint64_t h = head_.v.load(std::memory_order_acquire);
+    const uint64_t ti = tail_.v.load(std::memory_order_relaxed) & kIndexMask;
+    if (ti - h <= mask_) return;
+    head_.v.wait(h, std::memory_order_acquire);
+  }
+
+  // Producer only: marks the queue closed and wakes a parked consumer. Items
+  // already in the ring stay poppable.
+  void Close() {
+    tail_.v.fetch_or(kClosedBit, std::memory_order_release);
+    tail_.v.notify_all();
+  }
+  bool closed() const {
+    return (tail_.v.load(std::memory_order_acquire) & kClosedBit) != 0;
+  }
+
+  // Racy size estimate (diagnostics only).
+  size_t SizeApprox() const {
+    const uint64_t t = tail_.v.load(std::memory_order_acquire) & kIndexMask;
+    const uint64_t h = head_.v.load(std::memory_order_acquire);
+    return static_cast<size_t>(t - h);
+  }
+
+ private:
+  static constexpr uint64_t kClosedBit = uint64_t{1} << 63;
+  static constexpr uint64_t kIndexMask = kClosedBit - 1;
+
+  // Counters monotonically increase (indices are taken modulo the ring
+  // size); each lives on its own cache line together with the opposite
+  // side's cached copy, so steady-state push/pop never false-share.
+  struct alignas(64) ProducerSide {
+    std::atomic<uint64_t> v{0};
+  };
+  struct alignas(64) ConsumerSide {
+    std::atomic<uint64_t> v{0};
+  };
+
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  ProducerSide tail_;            // next slot to write (+ closed flag bit)
+  uint64_t head_cache_ = 0;      // producer's cached head index (same line)
+  ConsumerSide head_;            // next slot to read
+  uint64_t tail_cache_ = 0;      // consumer's cached tail index (same line)
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_PLAN_SPSC_QUEUE_H_

@@ -11,6 +11,7 @@
 // FlatInt64Map used by the predicate index.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "mop/predicate_index_mop.h"
 #include "plan/compile.h"
 #include "plan/executor.h"
+#include "plan/sharded_executor.h"
 #include "query/builder.h"
 #include "rules/rule_engine.h"
 
@@ -289,6 +291,194 @@ TEST(HotpathEquivalenceTest, MixedPlanWithSequencesFuzz) {
     }
     Feed feed = FuzzFeed(rng, false, 2, 300, 4);
     ExpectHotpathEquivalence(queries, feed, {"S", "T"});
+  }
+}
+
+// --- sharded vs single-threaded equivalence ----------------------------------
+
+// Runs the feed through a ShardedExecutor (ordered merge mode) and renders
+// per-query outputs like RunOnce. Batch pushes relax the cross-shard
+// interleaving *within one epoch*, so callers compare sorted multisets.
+RunResult RunSharded(const std::vector<Query>& queries, const Feed& feed,
+                     const std::vector<std::string>& stream_names,
+                     int num_shards, int64_t batch_size) {
+  CollectingSink sink;
+  ShardedExecutor::Options options;
+  options.num_shards = num_shards;
+  ShardedExecutor exec(
+      options,
+      [&queries](Plan* plan, OptimizeStats* stats) {
+        auto compiled = CompileQueries(queries, plan);
+        if (!compiled.ok()) return compiled.status();
+        *stats = Optimize(plan);
+        return Status::OK();
+      },
+      static_cast<OutputSink*>(&sink));
+  RUMOR_CHECK(exec.Prepare().ok());
+  std::vector<StreamId> streams;
+  for (const std::string& name : stream_names) {
+    streams.push_back(*exec.plan(0).streams().FindSource(name));
+  }
+
+  const size_t n = feed.tuple.size();
+  std::vector<Tuple> batch;
+  size_t i = 0;
+  while (i < n) {
+    const int stream = feed.stream[i];
+    batch.clear();
+    while (i < n && feed.stream[i] == stream &&
+           static_cast<int64_t>(batch.size()) < batch_size) {
+      batch.push_back(feed.tuple[i]);
+      ++i;
+    }
+    exec.PushSourceBatch(streams[stream], batch);
+  }
+  exec.Flush();
+
+  RunResult result;
+  for (int s = 0; s < num_shards; ++s) result.deliveries += exec.deliveries(s);
+  for (const Query& q : queries) {
+    auto stream = exec.plan(0).OutputStreamOf(q.name);
+    RUMOR_CHECK(stream.has_value());
+    std::vector<std::string>& rendered = result.outputs[q.name];
+    for (const Tuple& t : sink.ForStream(*stream)) {
+      rendered.push_back(t.ToString());
+    }
+  }
+  return result;
+}
+
+// Compares a sharded run against the single-threaded executor at shard
+// counts 1/2/4/7. Shard count 1 must match byte-for-byte (single worker =
+// single emission order); higher counts are compared as sorted multisets.
+// Total deliveries must match exactly at every count: each tuple is routed
+// to exactly one replica, so the summed scheduling work is invariant.
+void ExpectShardedEquivalence(const std::vector<Query>& queries,
+                              const Feed& feed,
+                              const std::vector<std::string>& stream_names) {
+  SetFastPaths(true);
+  RunResult reference = RunOnce(queries, feed, stream_names, 64);
+  int64_t total = 0;
+  for (const auto& [name, tuples] : reference.outputs) total += tuples.size();
+  EXPECT_GT(total, 0) << "workload produced no output; vacuous comparison";
+
+  RunResult sorted_reference = reference;
+  for (auto& [name, tuples] : sorted_reference.outputs) {
+    std::sort(tuples.begin(), tuples.end());
+  }
+  for (int num_shards : {1, 2, 4, 7}) {
+    RunResult sharded = RunSharded(queries, feed, stream_names, num_shards, 64);
+    if (num_shards == 1) {
+      EXPECT_TRUE(sharded == reference) << "1 shard must be byte-identical";
+      continue;
+    }
+    EXPECT_EQ(sharded.deliveries, reference.deliveries)
+        << "shards=" << num_shards;
+    for (auto& [name, tuples] : sharded.outputs) {
+      std::sort(tuples.begin(), tuples.end());
+    }
+    EXPECT_TRUE(sharded.outputs == sorted_reference.outputs)
+        << "shards=" << num_shards;
+  }
+}
+
+TEST(ShardedEquivalenceTest, SelectionAndPredicateIndexFuzz) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (bool with_strings : {false, true}) {
+      Rng rng(seed * 601 + (with_strings ? 1 : 0));
+      Schema schema = FuzzSchema(with_strings);
+      std::vector<Query> queries;
+      const int nq = 6 + static_cast<int>(rng.UniformInt(0, 6));
+      for (int i = 0; i < nq; ++i) {
+        queries.push_back(
+            QueryBuilder::FromSource("S", schema)
+                .Select(RandomPredicate(rng, with_strings, 2))
+                .Build("Q" + std::to_string(i)));
+      }
+      Feed feed = FuzzFeed(rng, with_strings, 1, 300, 300);
+      ExpectShardedEquivalence(queries, feed, {"S"});
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, JoinFuzz) {
+  // Equi-joins on a0: AnalyzeSharding keys both sources on the join
+  // attribute, so matching pairs always meet on one shard.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 47);
+    Schema schema = FuzzSchema(false);
+    std::vector<Query> queries;
+    const int nq = 3 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int i = 0; i < nq; ++i) {
+      ExprPtr equi = Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 0),
+                               Expr::Attr(Side::kRight, 0));
+      ExprPtr residual =
+          Expr::Cmp(CmpOp::kLe, Expr::Attr(Side::kRight, 1),
+                    Expr::ConstInt(rng.UniformInt(0, kDomain - 1)));
+      queries.push_back(
+          QueryBuilder::FromSource("S", schema)
+              .Join(QueryBuilder::FromSource("T", schema),
+                    Expr::And(equi, residual), 5 + 3 * i, 4 + 2 * i)
+              .Build("J" + std::to_string(i)));
+    }
+    Feed feed = FuzzFeed(rng, false, 2, 300, 5);
+    ExpectShardedEquivalence(queries, feed, {"S", "T"});
+  }
+}
+
+TEST(ShardedEquivalenceTest, AggregateFuzz) {
+  // GROUP BY a0 partitions aggregation state by key hash; per-key output
+  // order is exactly the single-threaded order.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 211);
+    Schema schema = FuzzSchema(false);
+    std::vector<Query> queries;
+    const AggFn fns[] = {AggFn::kMin, AggFn::kMax, AggFn::kSum, AggFn::kCount,
+                         AggFn::kAvg};
+    for (int i = 0; i < 6; ++i) {
+      AggFn fn = fns[rng.UniformInt(0, 4)];
+      if (fn == AggFn::kCount) {
+        queries.push_back(QueryBuilder::FromSource("S", schema)
+                              .Count({"a0"}, 4 + 3 * i)
+                              .Build("A" + std::to_string(i)));
+      } else {
+        queries.push_back(QueryBuilder::FromSource("S", schema)
+                              .Aggregate(fn, "a1", {"a0"}, 4 + 3 * i)
+                              .Build("A" + std::to_string(i)));
+      }
+    }
+    Feed feed = FuzzFeed(rng, false, 1, 300, 300);
+    ExpectShardedEquivalence(queries, feed, {"S"});
+  }
+}
+
+TEST(ShardedEquivalenceTest, MixedPlanWithSequencesFuzz) {
+  // Null-predicate sequences have no equi-pair -> the whole S/T component
+  // pins to one shard; a keyed variant (equi on attr 0) partitions it.
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    for (bool keyed : {false, true}) {
+      Rng rng(seed * 89 + (keyed ? 7 : 0));
+      Schema schema = FuzzSchema(false);
+      std::vector<Query> queries;
+      for (int i = 0; i < 4; ++i) {
+        QueryBuilder left =
+            QueryBuilder::FromSource("S", schema)
+                .Select(Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 0),
+                                  Expr::ConstInt(rng.UniformInt(0, 2))));
+        QueryBuilder right =
+            QueryBuilder::FromSource("T", schema)
+                .Select(Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 1),
+                                  Expr::ConstInt(rng.UniformInt(0, 2))));
+        ExprPtr pred =
+            keyed ? Expr::Cmp(CmpOp::kEq, Expr::Attr(Side::kLeft, 2),
+                              Expr::Attr(Side::kRight, 2))
+                  : ExprPtr();
+        queries.push_back(left.Sequence(right, pred, 6 + 2 * i)
+                              .Build("W" + std::to_string(i)));
+      }
+      Feed feed = FuzzFeed(rng, false, 2, 300, 4);
+      ExpectShardedEquivalence(queries, feed, {"S", "T"});
+    }
   }
 }
 
