@@ -85,11 +85,8 @@ int StreamEngine::FindQuery(const std::string& name) const {
   // Case-insensitive, matching Catalog resolution — otherwise two queries
   // differing only in case would collide in the catalog, and removing one
   // would strip the other's entry.
-  const std::string needle = ToLower(name);
-  for (size_t i = 0; i < queries_.size(); ++i) {
-    if (ToLower(queries_[i].name) == needle) return static_cast<int>(i);
-  }
-  return -1;
+  auto it = query_index_.find(ToLower(name));
+  return it == query_index_.end() ? -1 : it->second;
 }
 
 Status StreamEngine::AddQuery(Query query) {
@@ -102,6 +99,7 @@ Status StreamEngine::AddQuery(Query query) {
   }
   if (started()) return AddQueryLive(std::move(query));
   catalog_.AddQuery(query);
+  query_index_[ToLower(query.name)] = static_cast<int>(queries_.size());
   queries_.push_back(std::move(query));
   return Status::OK();
 }
@@ -142,7 +140,16 @@ Status StreamEngine::AddQueryLive(Query query) {
             plan.RollbackTo(marker);
             return compiled.status();
           }
-          merged[shard] = MergeNewQuery(&plan, options_);
+          // Each shard probes its own replica's share index (replicas and
+          // indexes stay identical because the merge is deterministic).
+          ShareIndex* index = shard < static_cast<int>(shard_indexes_.size())
+                                  ? shard_indexes_[shard].get()
+                                  : nullptr;
+          merged[shard] =
+              index != nullptr
+                  ? MergeNewQueryIndexed(&plan, index, marker.num_mops,
+                                         options_)
+                  : MergeNewQuery(&plan, options_);
           exec.Refresh();
           return Status::OK();
         });
@@ -156,6 +163,7 @@ Status StreamEngine::AddQueryLive(Query query) {
     sink_->Bind(*out, query.name);
     RefreshSourceIds();
     catalog_.AddQuery(query);
+    query_index_[ToLower(query.name)] = static_cast<int>(queries_.size());
     queries_.push_back(std::move(query));
     return Status::OK();
   }
@@ -170,8 +178,14 @@ Status StreamEngine::AddQueryLive(Query query) {
     plan_.RollbackTo(marker);
     return compiled.status();
   }
-  // Incrementally merge the new subplan onto warm shared operators.
-  IncrementalMergeStats merged = MergeNewQuery(&plan_, options_);
+  // Incrementally merge the new subplan onto warm shared operators: O(1)
+  // share-index probes per fresh m-op in the default configuration, the
+  // whole-plan scan oracle otherwise.
+  IncrementalMergeStats merged =
+      share_index_ != nullptr
+          ? MergeNewQueryIndexed(&plan_, share_index_.get(), marker.num_mops,
+                                 options_)
+          : MergeNewQuery(&plan_, options_);
   stats_.dynamic_adds += 1;
   stats_.incremental_cse_merges += merged.cse_merges;
   stats_.incremental_attach_merges += merged.attach_merges;
@@ -186,6 +200,7 @@ Status StreamEngine::AddQueryLive(Query query) {
   executor_->Refresh();  // validates the plan
   RefreshSourceIds();
   catalog_.AddQuery(query);
+  query_index_[ToLower(query.name)] = static_cast<int>(queries_.size());
   queries_.push_back(std::move(query));
   return Status::OK();
 }
@@ -207,6 +222,12 @@ Status StreamEngine::RemoveQuery(const std::string& name) {
         [&](int shard, Plan& plan, Executor& exec) -> Status {
           RUMOR_CHECK(plan.UnmarkOutput(canonical));
           pruned[shard] = PruneUnreachable(&plan);
+          // Keep the share index current (O(delta)) so a long removal run
+          // cannot outgrow the plan's event log between adds.
+          if (shard < static_cast<int>(shard_indexes_.size()) &&
+              shard_indexes_[shard] != nullptr) {
+            shard_indexes_[shard]->Sync();
+          }
           exec.Refresh();
           return Status::OK();
         });
@@ -225,6 +246,9 @@ Status StreamEngine::RemoveQuery(const std::string& name) {
     // Reference-counted unsharing: tear down exactly what no surviving
     // query reaches.
     PruneStats pruned = PruneUnreachable(&plan_);
+    // Keep the share index current (O(delta)) so a long removal run cannot
+    // outgrow the plan's event log between adds.
+    if (share_index_ != nullptr) share_index_->Sync();
     stats_.dynamic_removes += 1;
     stats_.pruned_mops += pruned.removed_mops;
     stats_.pruned_members +=
@@ -233,6 +257,12 @@ Status StreamEngine::RemoveQuery(const std::string& name) {
   }
   queries_.erase(queries_.begin() + index);
   catalog_.Remove(canonical);
+  // Shift the name index in place (values only — no rehash of the
+  // surviving names).
+  query_index_.erase(ToLower(canonical));
+  for (auto& [unused_name, i] : query_index_) {
+    if (i > index) --i;
+  }
   return Status::OK();
 }
 
@@ -264,6 +294,17 @@ Status StreamEngine::Start() {
       return st;
     }
     stats_ = sharded_->optimize_stats();
+    if (options_.use_share_index) {
+      // One persistent share index per replica, built on the worker thread
+      // that owns the plan; live adds probe it instead of scanning.
+      shard_indexes_.resize(sharded_->num_shards());
+      Status ist = sharded_->MutateShards(
+          [this](int shard, Plan& plan, Executor&) -> Status {
+            shard_indexes_[shard] = std::make_unique<ShareIndex>(&plan);
+            return Status::OK();
+          });
+      RUMOR_CHECK(ist.ok());
+    }
     for (const Plan::OutputDef& def : sharded_->plan(0).outputs()) {
       sink_->Bind(def.stream, def.query_name);
     }
@@ -272,7 +313,10 @@ Status StreamEngine::Start() {
   }
   auto compiled = CompileQueries(queries_, &plan_);
   if (!compiled.ok()) return compiled.status();
-  stats_ = Optimize(&plan_, options_);
+  if (options_.use_share_index) {
+    share_index_ = std::make_unique<ShareIndex>(&plan_);
+  }
+  stats_ = Optimize(&plan_, options_, share_index_.get());
 
   sink_ = std::make_unique<HandlerSink>();
   sink_->SetHandler(&handler_);
@@ -292,6 +336,12 @@ const Plan& StreamEngine::ActivePlan() const {
 
 void StreamEngine::RefreshSourceIds() {
   const Plan& plan = ActivePlan();
+  // The table is keyed on the source set only, and sources are never
+  // removed — skip the O(streams) rescan unless a new source appeared
+  // (most live adds read already-known sources).
+  if (static_cast<int>(source_ids_.size()) == plan.streams().num_sources()) {
+    return;
+  }
   source_ids_.clear();
   for (StreamId s : plan.streams().Sources()) {
     source_ids_.push_back({plan.streams().Get(s).name, s});

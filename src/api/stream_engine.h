@@ -29,6 +29,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "plan/compile.h"
@@ -37,6 +38,7 @@
 #include "plan/sharded_executor.h"
 #include "query/parser.h"
 #include "rules/rule_engine.h"
+#include "rules/share_index.h"
 
 namespace rumor {
 
@@ -138,6 +140,15 @@ class StreamEngine {
   void SetMetricsOptions(const MetricsOptions& options);
   const MetricsOptions& metrics_options() const { return metrics_options_; }
 
+  // --- testing hooks -----------------------------------------------------------
+  // The live share-point index (single-threaded mode; nullptr before Start
+  // or when options.use_share_index is off) and the plan it indexes. The
+  // churn stress compares the index against a from-scratch rebuild.
+  const ShareIndex* share_index_for_testing() const {
+    return share_index_.get();
+  }
+  Plan* mutable_plan_for_testing() { return &plan_; }
+
  private:
   class HandlerSink;
 
@@ -157,9 +168,19 @@ class StreamEngine {
   MetricsOptions metrics_options_;
   Catalog catalog_;
   std::vector<Query> queries_;
+  // Lowercase query name -> index in queries_. O(1) FindQuery — a linear
+  // rescan per Add/Remove was quadratic over large standing populations.
+  std::unordered_map<std::string, int> query_index_;
   OutputHandler handler_;
 
   Plan plan_;
+  // Persistent share-point index over plan_, built at Start() and kept in
+  // sync from the plan's mutation log; every live AddQuery resolves its
+  // merges through it (rules/share_index.h). Sharded mode keeps one per
+  // shard replica instead. Null when options_.use_share_index is off (the
+  // scan-based oracle path).
+  std::unique_ptr<ShareIndex> share_index_;
+  std::vector<std::unique_ptr<ShareIndex>> shard_indexes_;
   OptimizeStats stats_;
   std::unique_ptr<HandlerSink> sink_;
   std::unique_ptr<Executor> executor_;

@@ -95,10 +95,95 @@ void Executor::Refresh() {
   // builds rely on the add/remove paths having validated their rewrites.
   plan_->Validate();
 #endif
-  // Between pushes every batch buffer is drained, so re-deriving the
-  // routing tables loses no in-flight work; BuildRouting preserves the
-  // buffer vector (capacity and all) for channels that survive.
-  BuildRouting();
+  // Between pushes every batch buffer is drained, so re-deriving routing
+  // state loses no in-flight work. The fast path patches only the channels
+  // the plan's mutation log names since our cursor; a compacted log or a
+  // bulk event (rollback) falls back to the full rebuild.
+  std::vector<PlanEvent> events;
+  bool reachable = plan_->ReadEventsSince(plan_cursor_, &events);
+  if (!reachable) {
+    BuildRouting();
+    return;
+  }
+  for (const PlanEvent& e : events) {
+    if (e.kind == PlanEvent::kBulk) {
+      BuildRouting();
+      return;
+    }
+  }
+  ApplyPlanDelta(events);
+  plan_cursor_ = plan_->mutation_seq();
+}
+
+void Executor::ApplyPlanDelta(const std::vector<PlanEvent>& events) {
+  if (events.empty()) return;
+  int num_channels = plan_->num_channels();
+  if (static_cast<int>(routes_.size()) < num_channels) {
+    routes_.resize(num_channels);
+    batch_safe_.resize(num_channels, 0);
+    batch_safe_epoch_.resize(num_channels, 0);
+  }
+  if (static_cast<int>(channel_buffers_.size()) < num_channels) {
+    channel_buffers_.resize(num_channels);
+  }
+  if (static_cast<StreamId>(source_route_.size()) < plan_->streams().size()) {
+    source_route_.resize(plan_->streams().size(), kInvalidChannel);
+  }
+  // Any rewiring can change reachability; invalidate all cached batch
+  // safety in O(1) and recompute lazily.
+  ++batch_epoch_;
+  // Channels whose consumer lists changed, and streams whose output marks
+  // changed (their channels' output slots need recomputing).
+  std::vector<ChannelId> dirty_channels;
+  std::vector<StreamId> dirty_streams;
+  for (const PlanEvent& e : events) {
+    switch (e.kind) {
+      case PlanEvent::kInputBound:
+        if (e.b >= 0) dirty_channels.push_back(e.b);
+        if (e.c >= 0) dirty_channels.push_back(e.c);
+        break;
+      case PlanEvent::kChannelKilled:
+        routes_[e.a] = Route{};  // tombstone: routes stay empty
+        break;
+      case PlanEvent::kSourceBound:
+        source_route_[e.a] = e.b;
+        break;
+      case PlanEvent::kOutputMarked:
+      case PlanEvent::kOutputUnmarked:
+        dirty_streams.push_back(e.a);
+        break;
+      case PlanEvent::kOutputRemapped:
+        dirty_streams.push_back(e.a);
+        dirty_streams.push_back(e.b);
+        break;
+      case PlanEvent::kMopAdded:     // bindings arrive as their own events
+      case PlanEvent::kMopRemoved:   // ditto (unbinds precede it)
+      case PlanEvent::kMopGrew:      // producer-side only
+      case PlanEvent::kMopMutated:   // member specs only, wiring untouched
+      case PlanEvent::kOutputBound:  // producer-side only
+      case PlanEvent::kChannelAdded: // fresh channel: default route is right
+        break;
+      case PlanEvent::kBulk:
+        RUMOR_CHECK(false) << "bulk events take the full-rebuild path";
+    }
+  }
+  for (ChannelId c : dirty_channels) {
+    // ConsumersOf sorts by (mop, port) — the exact order the one-pass
+    // BuildRouting produces — so a patched table matches a fresh build.
+    routes_[c].consumers = plan_->ConsumersOf(c);
+  }
+  for (StreamId s : dirty_streams) {
+    for (ChannelId c : plan_->ChannelsOfStream(s)) {
+      const ChannelDef& def = plan_->channel(c);
+      auto& slots = routes_[c].output_slots;
+      slots.clear();
+      for (int slot = 0; slot < def.capacity(); ++slot) {
+        if (plan_->OutputMarksOn(def.stream_at(slot)) > 0) {
+          slots.push_back({slot, def.stream_at(slot)});
+        }
+      }
+    }
+  }
 }
 
 void Executor::BuildRouting() {
@@ -134,17 +219,22 @@ void Executor::BuildRouting() {
   for (StreamId s = 0; s < plan_->streams().size(); ++s) {
     if (auto c = plan_->FindSourceChannel(s)) source_route_[s] = *c;
   }
-  batch_safe_.assign(plan_->num_channels(), -1);
+  ++batch_epoch_;  // invalidates all cached batch safety
+  batch_safe_.assign(plan_->num_channels(), 0);
+  batch_safe_epoch_.assign(plan_->num_channels(), 0);
   // Grow-only so surviving channels keep their warmed buffer capacity.
   if (static_cast<int>(channel_buffers_.size()) < plan_->num_channels()) {
     channel_buffers_.resize(plan_->num_channels());
   }
+  plan_cursor_ = plan_->mutation_seq();
 }
 
 bool Executor::BatchSafe(ChannelId channel) {
   RUMOR_DCHECK(prepared_) << "call Prepare() first";
   RUMOR_DCHECK(channel >= 0 && channel < plan_->num_channels());
-  if (batch_safe_[channel] >= 0) return batch_safe_[channel] != 0;
+  if (batch_safe_epoch_[channel] == batch_epoch_) {
+    return batch_safe_[channel] != 0;
+  }
   // BFS over the consumer graph, counting distinct reachable input ports
   // per m-op (dense MopId-indexed scratch; -1 = not yet reached). Two
   // reachable ports on one m-op means a batch would deliver all of one port
@@ -175,6 +265,7 @@ bool Executor::BatchSafe(ChannelId channel) {
     }
   }
   batch_safe_[channel] = safe ? 1 : 0;
+  batch_safe_epoch_[channel] = batch_epoch_;
   return safe;
 }
 

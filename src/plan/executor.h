@@ -104,12 +104,15 @@ class Executor {
   // Builds routing tables; validates the plan. Call once before pushing.
   void Prepare();
 
-  // Rebuilds the routing tables after the plan changed underneath a running
-  // executor (online query churn: AddQuery/RemoveQuery after Start). Keeps
-  // everything the routing rebuild does not invalidate: delivery counters,
-  // per-channel batch buffers (and their warmed capacity) for channels that
-  // survive, and m-op state (owned by the plan). Must not be called from
-  // inside a push (CHECK-fails if busy()).
+  // Re-syncs the routing tables after the plan changed underneath a running
+  // executor (online query churn: AddQuery/RemoveQuery after Start). Patches
+  // only the channels the plan's mutation log names since the last sync —
+  // O(delta), not O(plan) — falling back to a full rebuild when the log was
+  // compacted past our cursor or recorded a bulk change (rollback). Keeps
+  // everything a sync does not invalidate: delivery counters, per-channel
+  // batch buffers (and their warmed capacity) for channels that survive,
+  // and m-op state (owned by the plan). Must not be called from inside a
+  // push (CHECK-fails if busy()).
   void Refresh();
 
   // True while a push is propagating (an output handler is running). Plan
@@ -175,8 +178,11 @@ class Executor {
   class BatchEmitter;
 
   // Derives routes_/source_route_/batch_safe_ from the current plan (one
-  // pass over the m-ops; shared by Prepare and Refresh).
+  // pass over the m-ops; Prepare and the Refresh fallback).
   void BuildRouting();
+  // Patches the routing tables from a batch of plan mutation events
+  // (Refresh fast path). The caller has checked the batch contains no kBulk.
+  void ApplyPlanDelta(const std::vector<PlanEvent>& events);
 
   // Pushes a kChannel task and, unless a drain is already running higher up
   // the call stack, drains the work stack.
@@ -202,7 +208,14 @@ class Executor {
   bool prepared_ = false;
   std::vector<Route> routes_;            // by channel id
   std::vector<ChannelId> source_route_;  // by stream id (source streams)
-  std::vector<int8_t> batch_safe_;       // by channel id; -1 = not computed
+  // Lazily computed batch safety, invalidated wholesale by bumping
+  // batch_epoch_ (an O(channels) reset per Refresh would dominate live
+  // adds on large plans). An entry is valid iff its epoch matches.
+  std::vector<int8_t> batch_safe_;          // by channel id
+  std::vector<uint64_t> batch_safe_epoch_;  // by channel id
+  uint64_t batch_epoch_ = 0;
+  // Position in the plan's mutation log up to which routes_ is current.
+  uint64_t plan_cursor_ = 0;
   int64_t deliveries_ = 0;
 
   // Sampled m-op timing: every sample_every_n-th invocation (per-tuple

@@ -1,10 +1,37 @@
 #include "plan/plan.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/str_util.h"
 
 namespace rumor {
+namespace {
+
+// Bounded mutation-log depth. Live AddQuery/RemoveQuery produce a handful of
+// events each, so consumers that sync per call stay far inside the window;
+// a batch Optimize over a huge plan can overflow it, in which case the
+// consumer falls back to one full rebuild (same cost as one plan scan).
+constexpr size_t kEventLogCap = 1 << 16;
+
+}  // namespace
+
+void Plan::Emit(PlanEvent::Kind kind, int32_t a, int32_t b, int32_t c) {
+  if (events_.size() >= kEventLogCap) events_.pop_front();
+  events_.push_back(PlanEvent{kind, a, b, c});
+  ++event_seq_;
+}
+
+bool Plan::ReadEventsSince(uint64_t cursor,
+                           std::vector<PlanEvent>* out) const {
+  RUMOR_CHECK(cursor <= event_seq_);
+  uint64_t base = event_seq_ - events_.size();
+  if (cursor < base) return false;  // compacted past the cursor
+  for (size_t i = cursor - base; i < events_.size(); ++i) {
+    out->push_back(events_[i]);
+  }
+  return true;
+}
 
 ChannelId Plan::AddChannel(std::vector<StreamId> streams, Schema schema) {
   RUMOR_CHECK(!streams.empty());
@@ -13,36 +40,35 @@ ChannelId Plan::AddChannel(std::vector<StreamId> streams, Schema schema) {
         << "channel streams must be union-compatible";
   }
   ChannelId id = static_cast<ChannelId>(channels_.size());
+  // Source-group channels (capacity > 1, all-source) are fed directly via
+  // Executor::PushChannel and must never be collected.
+  bool pinned = streams.size() > 1;
+  for (StreamId s : streams) pinned &= streams_.Get(s).is_source;
+  for (StreamId s : streams) {
+    if (s >= static_cast<StreamId>(stream_channels_.size())) {
+      stream_channels_.resize(s + 1);
+    }
+    stream_channels_[s].push_back(id);
+  }
   channels_.emplace_back(id, std::move(streams), std::move(schema));
   channel_dead_.push_back(0);
+  channel_pinned_.push_back(pinned ? 1 : 0);
+  channel_consumers_.emplace_back();
+  channel_producer_.push_back(ChannelEnd{});
+  Emit(PlanEvent::kChannelAdded, id);
   return id;
-}
-
-bool Plan::ChannelPinned(ChannelId id) const {
-  // Source channels are fed by Executor::PushSource.
-  for (const auto& [s, c] : source_channels_) {
-    if (c == id) return true;
-  }
-  // Source-group channels are fed by Executor::PushChannel.
-  if (channels_[id].capacity() > 1) {
-    bool all_sources = true;
-    for (StreamId s : channels_[id].streams()) {
-      all_sources &= streams_.Get(s).is_source;
-    }
-    if (all_sources) return true;
-  }
-  return false;
 }
 
 bool Plan::MaybeKillChannel(ChannelId id) {
   if (channel_dead_[id]) return false;
   if (ChannelPinned(id)) return false;
-  if (ProducerOf(id).has_value()) return false;
-  if (!ConsumersOf(id).empty()) return false;
-  for (const OutputDef& def : outputs_) {
-    if (channels_[id].SlotOf(def.stream).has_value()) return false;
+  if (channel_producer_[id].mop != kInvalidMop) return false;
+  if (!channel_consumers_[id].empty()) return false;
+  for (StreamId s : channels_[id].streams()) {
+    if (OutputMarksOn(s) > 0) return false;
   }
   channel_dead_[id] = 1;
+  Emit(PlanEvent::kChannelKilled, id);
   return true;
 }
 
@@ -58,7 +84,9 @@ ChannelId Plan::SourceChannelOf(StreamId stream) {
   if (auto existing = FindSourceChannel(stream)) return *existing;
   RUMOR_CHECK(streams_.Get(stream).is_source);
   ChannelId id = AddChannel({stream}, streams_.SchemaOf(stream));
+  channel_pinned_[id] = 1;  // fed by Executor::PushSource
   source_channels_.push_back({stream, id});
+  Emit(PlanEvent::kSourceBound, stream, id);
   return id;
 }
 
@@ -75,6 +103,17 @@ ChannelId Plan::AddDerivedChannel(const std::string& name, Schema schema) {
   return AddChannel({s}, streams_.SchemaOf(s));
 }
 
+std::vector<ChannelId> Plan::ChannelsOfStream(StreamId stream) const {
+  std::vector<ChannelId> out;
+  if (stream < 0 || stream >= static_cast<StreamId>(stream_channels_.size())) {
+    return out;
+  }
+  for (ChannelId c : stream_channels_[stream]) {
+    if (!channel_dead_[c]) out.push_back(c);
+  }
+  return out;
+}
+
 MopId Plan::AddMop(std::unique_ptr<Mop> mop) {
   RUMOR_CHECK(mop != nullptr);
   MopId id = static_cast<MopId>(mops_.size());
@@ -84,6 +123,7 @@ MopId Plan::AddMop(std::unique_ptr<Mop> mop) {
   mop_outputs_.push_back(
       std::vector<ChannelId>(mop->num_outputs(), kInvalidChannel));
   mops_.push_back(std::move(mop));
+  Emit(PlanEvent::kMopAdded, id);
   return id;
 }
 
@@ -92,9 +132,24 @@ void Plan::RemoveMop(MopId id) {
   std::vector<ChannelId> touched = mop_inputs_[id];
   touched.insert(touched.end(), mop_outputs_[id].begin(),
                  mop_outputs_[id].end());
+  for (int p = 0; p < static_cast<int>(mop_inputs_[id].size()); ++p) {
+    ChannelId c = mop_inputs_[id][p];
+    if (c == kInvalidChannel) continue;
+    EraseConsumer(c, id, p);
+    Emit(PlanEvent::kInputBound, id, kInvalidChannel, c);
+  }
+  for (int p = 0; p < static_cast<int>(mop_outputs_[id].size()); ++p) {
+    ChannelId c = mop_outputs_[id][p];
+    if (c == kInvalidChannel) continue;
+    // Rules that reuse a removed m-op's channel bind the replacement's
+    // output first, so the producer slot may already belong to it.
+    if (channel_producer_[c].mop == id) channel_producer_[c] = ChannelEnd{};
+    Emit(PlanEvent::kOutputBound, id, kInvalidChannel, c);
+  }
   mops_[id].reset();
   mop_inputs_[id].clear();
   mop_outputs_[id].clear();
+  Emit(PlanEvent::kMopRemoved, id);
   // Collect channels this removal orphaned. Rules that reuse a removed
   // m-op's channels bind the replacement first, so those still have a
   // producer or consumers here and survive.
@@ -111,11 +166,29 @@ std::vector<MopId> Plan::LiveMops() const {
   return out;
 }
 
+void Plan::EraseConsumer(ChannelId channel, MopId mop, int port) {
+  auto& list = channel_consumers_[channel];
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].mop == mop && list[i].port == port) {
+      list[i] = list.back();
+      list.pop_back();
+      return;
+    }
+  }
+  RUMOR_CHECK(false) << "consumer (" << mop << "," << port
+                     << ") missing from channel " << channel;
+}
+
 void Plan::BindInput(MopId mop, int port, ChannelId channel) {
   RUMOR_CHECK(IsLive(mop));
   RUMOR_CHECK(port >= 0 && port < static_cast<int>(mop_inputs_[mop].size()));
   RUMOR_CHECK(channel >= 0 && channel < num_channels());
+  ChannelId old = mop_inputs_[mop][port];
+  if (old == channel) return;
+  if (old != kInvalidChannel) EraseConsumer(old, mop, port);
   mop_inputs_[mop][port] = channel;
+  channel_consumers_[channel].push_back({mop, port});
+  Emit(PlanEvent::kInputBound, mop, channel, old);
 }
 
 void Plan::BindOutput(MopId mop, int port, ChannelId channel) {
@@ -123,7 +196,15 @@ void Plan::BindOutput(MopId mop, int port, ChannelId channel) {
   RUMOR_CHECK(port >= 0 &&
               port < static_cast<int>(mop_outputs_[mop].size()));
   RUMOR_CHECK(channel >= 0 && channel < num_channels());
+  ChannelId old = mop_outputs_[mop][port];
+  if (old == channel) return;
+  if (old != kInvalidChannel && channel_producer_[old].mop == mop &&
+      channel_producer_[old].port == port) {
+    channel_producer_[old] = ChannelEnd{};
+  }
   mop_outputs_[mop][port] = channel;
+  channel_producer_[channel] = ChannelEnd{mop, port};
+  Emit(PlanEvent::kOutputBound, mop, channel, old);
 }
 
 int Plan::AddMopOutputPort(MopId mop, ChannelId channel) {
@@ -134,7 +215,15 @@ int Plan::AddMopOutputPort(MopId mop, ChannelId channel) {
   RUMOR_CHECK(static_cast<int>(mop_outputs_[mop].size()) ==
               mops_[mop]->num_outputs())
       << "grow the m-op's port count (AddMember) before binding it";
-  return static_cast<int>(mop_outputs_[mop].size()) - 1;
+  int port = static_cast<int>(mop_outputs_[mop].size()) - 1;
+  channel_producer_[channel] = ChannelEnd{mop, port};
+  Emit(PlanEvent::kMopGrew, mop, channel);
+  return port;
+}
+
+void Plan::NotifyMopMutated(MopId mop) {
+  RUMOR_CHECK(IsLive(mop));
+  Emit(PlanEvent::kMopMutated, mop);
 }
 
 ChannelId Plan::input_channel(MopId mop, int port) const {
@@ -148,38 +237,88 @@ ChannelId Plan::output_channel(MopId mop, int port) const {
 }
 
 std::vector<ChannelEnd> Plan::ConsumersOf(ChannelId channel) const {
-  std::vector<ChannelEnd> out;
-  for (int m = 0; m < num_mops(); ++m) {
-    if (mops_[m] == nullptr) continue;
-    for (int p = 0; p < static_cast<int>(mop_inputs_[m].size()); ++p) {
-      if (mop_inputs_[m][p] == channel) out.push_back({m, p});
-    }
-  }
+  std::vector<ChannelEnd> out = channel_consumers_[channel];
+  std::sort(out.begin(), out.end(), [](const ChannelEnd& a,
+                                       const ChannelEnd& b) {
+    return a.mop != b.mop ? a.mop < b.mop : a.port < b.port;
+  });
   return out;
 }
 
 std::optional<ChannelEnd> Plan::ProducerOf(ChannelId channel) const {
-  for (int m = 0; m < num_mops(); ++m) {
-    if (mops_[m] == nullptr) continue;
-    for (int p = 0; p < static_cast<int>(mop_outputs_[m].size()); ++p) {
-      if (mop_outputs_[m][p] == channel) return ChannelEnd{m, p};
-    }
-  }
-  return std::nullopt;
+  if (channel_producer_[channel].mop == kInvalidMop) return std::nullopt;
+  return channel_producer_[channel];
 }
 
 void Plan::MarkOutput(StreamId stream, std::string query_name) {
+  int idx = static_cast<int>(outputs_.size());
+  if (!output_tables_dirty_) {
+    output_index_by_name_.emplace(query_name, idx);
+    output_indices_by_stream_[stream].push_back(idx);
+  }
+  ++output_mark_counts_[stream];
   outputs_.push_back({stream, std::move(query_name)});
+  Emit(PlanEvent::kOutputMarked, stream);
 }
 
 bool Plan::UnmarkOutput(const std::string& query_name) {
   for (auto it = outputs_.begin(); it != outputs_.end(); ++it) {
     if (it->query_name == query_name) {
-      outputs_.erase(it);
+      StreamId stream = it->stream;
+      auto count = output_mark_counts_.find(stream);
+      RUMOR_CHECK(count != output_mark_counts_.end() && count->second > 0);
+      if (--count->second == 0) output_mark_counts_.erase(count);
+      outputs_.erase(it);  // shifts later indices
+      output_tables_dirty_ = true;
+      Emit(PlanEvent::kOutputUnmarked, stream);
       return true;
     }
   }
   return false;
+}
+
+void Plan::EnsureOutputTables() const {
+  if (!output_tables_dirty_) return;
+  output_index_by_name_.clear();
+  output_indices_by_stream_.clear();
+  for (int i = 0; i < static_cast<int>(outputs_.size()); ++i) {
+    // emplace keeps the first mark per name, matching the old linear scan.
+    output_index_by_name_.emplace(outputs_[i].query_name, i);
+    output_indices_by_stream_[outputs_[i].stream].push_back(i);
+  }
+  output_tables_dirty_ = false;
+}
+
+std::optional<StreamId> Plan::OutputStreamOf(
+    const std::string& query_name) const {
+  EnsureOutputTables();
+  auto it = output_index_by_name_.find(query_name);
+  if (it == output_index_by_name_.end()) return std::nullopt;
+  return outputs_[it->second].stream;
+}
+
+int Plan::OutputMarksOn(StreamId stream) const {
+  auto it = output_mark_counts_.find(stream);
+  return it == output_mark_counts_.end() ? 0 : it->second;
+}
+
+void Plan::RemapOutput(StreamId from, StreamId to) {
+  if (from == to) return;
+  EnsureOutputTables();
+  auto it = output_indices_by_stream_.find(from);
+  if (it == output_indices_by_stream_.end()) return;
+  std::vector<int> moved = std::move(it->second);
+  output_indices_by_stream_.erase(it);
+  for (int idx : moved) {
+    outputs_[idx].stream = to;
+    auto count = output_mark_counts_.find(from);
+    RUMOR_CHECK(count != output_mark_counts_.end() && count->second > 0);
+    if (--count->second == 0) output_mark_counts_.erase(count);
+    ++output_mark_counts_[to];
+  }
+  auto& dst = output_indices_by_stream_[to];
+  dst.insert(dst.end(), moved.begin(), moved.end());
+  Emit(PlanEvent::kOutputRemapped, from, to);
 }
 
 Plan::Marker Plan::Mark() const {
@@ -205,61 +344,163 @@ void Plan::RollbackTo(const Marker& marker) {
   outputs_.resize(marker.num_outputs);
   source_channels_.resize(marker.num_source_channels);
   derived_counter_ = marker.derived_counter;
+  RebuildDerivedState();
+  Emit(PlanEvent::kBulk, -1);
+}
+
+void Plan::RebuildDerivedState() {
+  channel_pinned_.assign(channels_.size(), 0);
+  channel_consumers_.assign(channels_.size(), {});
+  channel_producer_.assign(channels_.size(), ChannelEnd{});
+  stream_channels_.assign(streams_.size(), {});
+  for (ChannelId c = 0; c < num_channels(); ++c) {
+    bool pinned = channels_[c].capacity() > 1;
+    for (StreamId s : channels_[c].streams()) {
+      pinned &= streams_.Get(s).is_source;
+      stream_channels_[s].push_back(c);
+    }
+    channel_pinned_[c] = pinned ? 1 : 0;
+  }
+  for (const auto& [s, c] : source_channels_) channel_pinned_[c] = 1;
+  for (int m = 0; m < num_mops(); ++m) {
+    if (mops_[m] == nullptr) continue;
+    for (int p = 0; p < static_cast<int>(mop_inputs_[m].size()); ++p) {
+      ChannelId c = mop_inputs_[m][p];
+      if (c != kInvalidChannel) channel_consumers_[c].push_back({m, p});
+    }
+    for (int p = 0; p < static_cast<int>(mop_outputs_[m].size()); ++p) {
+      ChannelId c = mop_outputs_[m][p];
+      if (c != kInvalidChannel) channel_producer_[c] = ChannelEnd{m, p};
+    }
+  }
+  output_mark_counts_.clear();
+  for (const OutputDef& def : outputs_) ++output_mark_counts_[def.stream];
+  output_tables_dirty_ = true;
 }
 
 std::vector<int> Plan::QueryRefCounts() const {
   std::vector<int> refs(num_mops(), 0);
-  for (const OutputDef& def : outputs_) {
-    // Reverse reachability from every channel carrying this query's output
-    // stream: producer m-ops, then their inputs' producers, transitively.
-    std::vector<char> mop_seen(num_mops(), 0);
-    std::vector<char> chan_seen(num_channels(), 0);
-    std::vector<ChannelId> worklist;
-    for (ChannelId c = 0; c < num_channels(); ++c) {
-      if (channel_dead_[c]) continue;
-      if (channels_[c].SlotOf(def.stream).has_value()) {
-        chan_seen[c] = 1;
-        worklist.push_back(c);
-      }
+  // Reverse reachability once per *distinct output stream* (after CSE,
+  // thousands of duplicate queries share one stream — their reach sets are
+  // identical, so each reached m-op just earns the stream's mark count).
+  // Stamped visitation reuses the two marker arrays across walks, so the
+  // total cost is O(plan + sum of reachable subgraphs), not the former
+  // O(outputs x plan) that made CollectMetrics minutes-long at 100k+
+  // standing queries.
+  std::vector<uint32_t> mop_stamp(num_mops(), 0);
+  std::vector<uint32_t> chan_stamp(num_channels(), 0);
+  uint32_t stamp = 0;
+  std::vector<ChannelId> worklist;
+  for (const auto& [stream, marks] : output_mark_counts_) {
+    ++stamp;
+    worklist.clear();
+    for (ChannelId c : ChannelsOfStream(stream)) {
+      chan_stamp[c] = stamp;
+      worklist.push_back(c);
     }
     while (!worklist.empty()) {
       ChannelId c = worklist.back();
       worklist.pop_back();
-      std::optional<ChannelEnd> producer = ProducerOf(c);
-      if (!producer.has_value() || mop_seen[producer->mop]) continue;
-      mop_seen[producer->mop] = 1;
-      for (ChannelId in : mop_inputs_[producer->mop]) {
-        if (in != kInvalidChannel && !chan_seen[in]) {
-          chan_seen[in] = 1;
+      const ChannelEnd& producer = channel_producer_[c];
+      if (producer.mop == kInvalidMop || mop_stamp[producer.mop] == stamp) {
+        continue;
+      }
+      mop_stamp[producer.mop] = stamp;
+      refs[producer.mop] += marks;
+      for (ChannelId in : mop_inputs_[producer.mop]) {
+        if (in != kInvalidChannel && chan_stamp[in] != stamp) {
+          chan_stamp[in] = stamp;
           worklist.push_back(in);
         }
       }
     }
-    for (int m = 0; m < num_mops(); ++m) refs[m] += mop_seen[m];
   }
   return refs;
 }
 
-std::optional<StreamId> Plan::OutputStreamOf(
-    const std::string& query_name) const {
-  for (const OutputDef& def : outputs_) {
-    if (def.query_name == query_name) return def.stream;
+Plan::OutputReach Plan::ComputeOutputReach() const {
+  // Per-entity label: -1 = reached by no output, -2 = by two or more
+  // distinct outputs, otherwise the single output-def index reaching it.
+  constexpr int32_t kNone = -1;
+  constexpr int32_t kMulti = -2;
+  auto merge = [](int32_t into, int32_t from) {
+    if (from == kNone || into == from) return into;
+    return into == kNone ? from : kMulti;
+  };
+  std::vector<int32_t> chan_label(num_channels(), kNone);
+  std::vector<int32_t> mop_label(num_mops(), kNone);
+  for (int i = 0; i < static_cast<int>(outputs_.size()); ++i) {
+    for (ChannelId c : ChannelsOfStream(outputs_[i].stream)) {
+      chan_label[c] = merge(chan_label[c], i);
+    }
   }
-  return std::nullopt;
+  // Post-order over mop -> consumer edges puts every m-op after all its
+  // downstream consumers, so one sweep propagates labels from each m-op's
+  // output channels into its input channels.
+  std::vector<MopId> order;
+  order.reserve(mops_.size());
+  std::vector<char> color(num_mops(), 0);  // 0 white, 1 on stack, 2 done
+  for (int root = 0; root < num_mops(); ++root) {
+    if (mops_[root] == nullptr || color[root] != 0) continue;
+    std::vector<std::pair<MopId, size_t>> stack = {{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      bool descended = false;
+      while (idx < mop_outputs_[node].size()) {
+        ChannelId c = mop_outputs_[node][idx++];
+        if (c == kInvalidChannel) continue;
+        for (const ChannelEnd& end : channel_consumers_[c]) {
+          if (color[end.mop] == 0) {
+            color[end.mop] = 1;
+            stack.push_back({end.mop, 0});
+            descended = true;
+            break;
+          }
+        }
+        if (descended) break;
+      }
+      if (!descended && idx >= mop_outputs_[node].size()) {
+        color[node] = 2;
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  for (MopId m : order) {
+    int32_t label = kNone;
+    for (ChannelId c : mop_outputs_[m]) {
+      if (c != kInvalidChannel) label = merge(label, chan_label[c]);
+    }
+    mop_label[m] = label;
+    if (label == kNone) continue;
+    for (ChannelId c : mop_inputs_[m]) {
+      if (c != kInvalidChannel) chan_label[c] = merge(chan_label[c], label);
+    }
+  }
+  OutputReach reach;
+  auto saturate = [](int32_t label) -> uint8_t {
+    return label == kNone ? 0 : (label == kMulti ? 2 : 1);
+  };
+  reach.mops.resize(mop_label.size());
+  reach.channels.resize(chan_label.size());
+  for (size_t i = 0; i < mop_label.size(); ++i) {
+    reach.mops[i] = saturate(mop_label[i]);
+  }
+  for (size_t i = 0; i < chan_label.size(); ++i) {
+    reach.channels[i] = saturate(chan_label[i]);
+  }
+  return reach;
 }
 
 void Plan::MoveConsumers(ChannelId from, ChannelId to) {
-  for (int m = 0; m < num_mops(); ++m) {
-    if (mops_[m] == nullptr) continue;
-    for (int p = 0; p < static_cast<int>(mop_inputs_[m].size()); ++p) {
-      if (mop_inputs_[m][p] == from) mop_inputs_[m][p] = to;
-    }
-  }
-}
-
-void Plan::RemapOutput(StreamId from, StreamId to) {
-  for (OutputDef& def : outputs_) {
-    if (def.stream == from) def.stream = to;
+  if (from == to) return;
+  std::vector<ChannelEnd> moved;
+  moved.swap(channel_consumers_[from]);
+  for (const ChannelEnd& end : moved) {
+    mop_inputs_[end.mop][end.port] = to;
+    channel_consumers_[to].push_back(end);
+    Emit(PlanEvent::kInputBound, end.mop, to, from);
   }
 }
 
@@ -267,7 +508,7 @@ std::vector<ChannelId> Plan::SourceGroupChannels() const {
   std::vector<ChannelId> out;
   for (ChannelId c = 0; c < num_channels(); ++c) {
     if (channels_[c].capacity() <= 1) continue;
-    if (ProducerOf(c).has_value()) continue;
+    if (channel_producer_[c].mop != kInvalidMop) continue;
     bool all_sources = true;
     for (StreamId s : channels_[c].streams()) {
       all_sources &= streams_.Get(s).is_source;
@@ -308,52 +549,90 @@ void Plan::Validate() const {
   // Every query output stream must still be carried by some live channel.
   for (const OutputDef& def : outputs_) {
     bool carried = false;
-    for (ChannelId c = 0; c < num_channels() && !carried; ++c) {
-      carried = !channel_dead_[c] && channels_[c].SlotOf(def.stream).has_value();
+    for (ChannelId c : ChannelsOfStream(def.stream)) {
+      carried |= !channel_dead_[c];
     }
     RUMOR_CHECK(carried) << "output stream of query '" << def.query_name
                          << "' is not carried by any live channel";
   }
-  // Each channel has at most one producer port, and dead channels are fully
-  // unwired (the port checks above already reject live m-ops bound to them).
+  // Mark counts agree with outputs_.
+  {
+    std::unordered_map<StreamId, int> expect;
+    for (const OutputDef& def : outputs_) ++expect[def.stream];
+    RUMOR_CHECK(expect.size() == output_mark_counts_.size())
+        << "output mark count table drifted";
+    for (const auto& [s, n] : expect) {
+      RUMOR_CHECK(OutputMarksOn(s) == n)
+          << "output mark count drifted for stream " << s;
+    }
+  }
+  // Each channel has at most one producer port, dead channels are fully
+  // unwired, and the incrementally maintained adjacency matches a fresh
+  // scan of the port bindings.
   std::vector<int> producers(channels_.size(), 0);
+  std::vector<std::vector<ChannelEnd>> expect_consumers(channels_.size());
   for (int m = 0; m < num_mops(); ++m) {
     if (mops_[m] == nullptr) continue;
     for (ChannelId c : mop_outputs_[m]) ++producers[c];
+    for (int p = 0; p < static_cast<int>(mop_inputs_[m].size()); ++p) {
+      expect_consumers[mop_inputs_[m][p]].push_back({m, p});
+    }
   }
   for (size_t c = 0; c < channels_.size(); ++c) {
     RUMOR_CHECK(producers[c] <= 1)
         << "channel " << c << " has " << producers[c] << " producers";
-    RUMOR_CHECK(!channel_dead_[c] || producers[c] == 0)
-        << "dead channel " << c << " has a producer";
   }
-  // Acyclicity via DFS over mop -> consumer edges. Consumer lists are built
-  // in one pass over the m-ops (ConsumersOf per channel is quadratic).
-  enum { kWhite, kGrey, kBlack };
-  std::vector<int> color(num_mops(), kWhite);
-  std::vector<std::vector<MopId>> consumers_by_channel(channels_.size());
   for (int m = 0; m < num_mops(); ++m) {
     if (mops_[m] == nullptr) continue;
-    for (ChannelId c : mop_inputs_[m]) consumers_by_channel[c].push_back(m);
-  }
-  std::vector<std::vector<MopId>> succ(num_mops());
-  for (int m = 0; m < num_mops(); ++m) {
-    if (mops_[m] == nullptr) continue;
-    for (ChannelId c : mop_outputs_[m]) {
-      for (MopId consumer : consumers_by_channel[c]) {
-        succ[m].push_back(consumer);
-      }
+    for (int p = 0; p < static_cast<int>(mop_outputs_[m].size()); ++p) {
+      ChannelId c = mop_outputs_[m][p];
+      RUMOR_CHECK(channel_producer_[c].mop == m &&
+                  channel_producer_[c].port == p)
+          << "producer adjacency drifted for channel " << c;
     }
   }
-  // Iterative DFS.
+  auto end_less = [](const ChannelEnd& a, const ChannelEnd& b) {
+    return a.mop != b.mop ? a.mop < b.mop : a.port < b.port;
+  };
+  for (size_t c = 0; c < channels_.size(); ++c) {
+    RUMOR_CHECK(!channel_dead_[c] || producers[c] == 0)
+        << "dead channel " << c << " has a producer";
+    RUMOR_CHECK(producers[c] > 0 || channel_producer_[c].mop == kInvalidMop)
+        << "stale producer adjacency for channel " << c;
+    std::vector<ChannelEnd> got = channel_consumers_[c];
+    std::sort(got.begin(), got.end(), end_less);
+    std::sort(expect_consumers[c].begin(), expect_consumers[c].end(),
+              end_less);
+    RUMOR_CHECK(got.size() == expect_consumers[c].size())
+        << "consumer adjacency drifted for channel " << c;
+    for (size_t i = 0; i < got.size(); ++i) {
+      RUMOR_CHECK(got[i].mop == expect_consumers[c][i].mop &&
+                  got[i].port == expect_consumers[c][i].port)
+          << "consumer adjacency drifted for channel " << c;
+    }
+  }
+  // Acyclicity via DFS over mop -> consumer edges.
+  enum { kWhite, kGrey, kBlack };
+  std::vector<int> color(num_mops(), kWhite);
   for (int root = 0; root < num_mops(); ++root) {
     if (mops_[root] == nullptr || color[root] != kWhite) continue;
     std::vector<std::pair<MopId, size_t>> stack = {{root, 0}};
     color[root] = kGrey;
     while (!stack.empty()) {
       auto& [node, idx] = stack.back();
-      if (idx < succ[node].size()) {
-        MopId next = succ[node][idx++];
+      // Flatten (output port, consumer) into one successor index.
+      MopId next = kInvalidMop;
+      size_t skipped = 0;
+      for (ChannelId c : mop_outputs_[node]) {
+        const auto& ends = channel_consumers_[c];
+        if (idx - skipped < ends.size()) {
+          next = ends[idx - skipped].mop;
+          break;
+        }
+        skipped += ends.size();
+      }
+      if (next != kInvalidMop) {
+        ++idx;
         RUMOR_CHECK(color[next] != kGrey) << "plan contains a cycle";
         if (color[next] == kWhite) {
           color[next] = kGrey;

@@ -14,12 +14,22 @@
 // M-rules rewrite the plan by replacing a set of m-ops with a target m-op
 // and rebinding the affected channel edges (paper §2.3); RemoveMop /
 // AddMop / Bind* are the primitives they use.
+//
+// Scale contract (the "millions of standing queries" work): every mutation
+// primitive maintains reverse adjacency (channel -> consumers / producer)
+// and per-stream lookup tables incrementally, so the structural queries the
+// optimizer and executor issue per live AddQuery/RemoveQuery are O(degree),
+// not O(plan). Mutations additionally publish PlanEvents into a bounded log
+// so derived structures (the optimizer's ShareIndex, the executor's routing
+// tables) can stay synchronized without rescanning the plan.
 #ifndef RUMOR_PLAN_PLAN_H_
 #define RUMOR_PLAN_PLAN_H_
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mop/mop.h"
@@ -32,6 +42,32 @@ namespace rumor {
 struct ChannelEnd {
   MopId mop = kInvalidMop;
   int port = -1;
+};
+
+// One plan mutation, published by the Plan primitives into a bounded log.
+// Consumers (ShareIndex, Executor::Refresh) hold a cursor into the log and
+// patch themselves from the delta instead of rescanning the plan; a kBulk
+// event (or a cursor that fell off the log) forces a full rebuild.
+struct PlanEvent {
+  enum Kind : uint8_t {
+    kBulk,            // wholesale change (rollback): consumers must rebuild
+    kMopAdded,        // a = mop
+    kMopRemoved,      // a = mop (already torn down when observed)
+    kMopGrew,         // a = mop, b = channel bound to the new output port
+    kInputBound,      // a = mop, b = new channel or -1, c = old channel or -1
+    kOutputBound,     // a = mop, b = new channel or -1, c = old channel or -1
+    kChannelAdded,    // a = channel
+    kChannelKilled,   // a = channel
+    kSourceBound,     // a = stream, b = its new source channel
+    kOutputMarked,    // a = stream
+    kOutputUnmarked,  // a = stream
+    kOutputRemapped,  // a = from stream, b = to stream
+    kMopMutated,      // a = mop — in-place member redefinition, no rewiring
+  };
+  Kind kind;
+  int32_t a = -1;
+  int32_t b = -1;
+  int32_t c = -1;
 };
 
 class Plan {
@@ -67,6 +103,10 @@ class Plan {
   // Convenience: derived stream + capacity-1 channel in one step.
   ChannelId AddDerivedChannel(const std::string& name, Schema schema);
 
+  // Live channels carrying `stream` (append-only per channel; dead channels
+  // are filtered out). O(#channels carrying the stream).
+  std::vector<ChannelId> ChannelsOfStream(StreamId stream) const;
+
   // --- m-ops ----------------------------------------------------------------
   MopId AddMop(std::unique_ptr<Mop> mop);
   // Tombstones the m-op, clears its bindings, and garbage-collects channels
@@ -95,6 +135,11 @@ class Plan {
   // the larger num_outputs(), e.g. after AddMember on a warm shared m-op);
   // returns the new port index.
   int AddMopOutputPort(MopId mop, ChannelId channel);
+  // Publishes that `mop` redefined one of its members in place (e.g. a
+  // shared aggregate reusing a deactivated slot for a new spec). Wiring is
+  // untouched, but member signatures may have changed, so signature-keyed
+  // consumers of the event log must re-derive the m-op.
+  void NotifyMopMutated(MopId mop);
   ChannelId input_channel(MopId mop, int port) const;
   ChannelId output_channel(MopId mop, int port) const;
   const std::vector<ChannelId>& input_channels(MopId mop) const {
@@ -104,14 +149,18 @@ class Plan {
     return mop_outputs_[mop];
   }
 
-  // Consumers of a channel (derived; O(#mops)).
+  // Consumers of a channel, sorted by (mop, port). O(degree) — the reverse
+  // adjacency is maintained incrementally by the wiring primitives.
   std::vector<ChannelEnd> ConsumersOf(ChannelId channel) const;
-  // Producer of a channel, or nullopt for source channels.
+  // Producer of a channel, or nullopt for source channels. O(1).
   std::optional<ChannelEnd> ProducerOf(ChannelId channel) const;
 
   // Rebinds every input port reading `from` to read `to` (rule rewiring).
+  // O(#consumers of `from`).
   void MoveConsumers(ChannelId from, ChannelId to);
   // Re-points query-output marks from one stream to another (CSE dedup).
+  // O(#marks on `from`) while no UnmarkOutput intervened (amortized by a
+  // lazily rebuilt stream -> marks table otherwise).
   void RemapOutput(StreamId from, StreamId to);
   // Producer-less channels of capacity > 1 encoding only source streams
   // (created by the channel rule over sharable sources; fed directly via
@@ -130,7 +179,10 @@ class Plan {
   bool UnmarkOutput(const std::string& query_name);
   // Current output stream of a query (CSE may remap streams after
   // compilation, so use this rather than a compile-time CompiledQuery).
+  // Amortized O(1) via the lazily rebuilt name -> mark table.
   std::optional<StreamId> OutputStreamOf(const std::string& query_name) const;
+  // Number of output marks on `stream`. O(1).
+  int OutputMarksOn(StreamId stream) const;
 
   // --- dynamic-plan support ---------------------------------------------------
   // Size snapshot for transactional growth: Mark() before compiling a new
@@ -147,37 +199,84 @@ class Plan {
   Marker Mark() const;
   // Undoes every AddMop/AddChannel/AddDerivedChannel/MarkOutput since
   // `marker`. Only valid while nothing created before the marker was rebound
-  // to entities created after it (true for a failed CompileQuery).
+  // to entities created after it (true for a failed CompileQuery). Publishes
+  // a kBulk event (derived structures rebuild).
   void RollbackTo(const Marker& marker);
 
   // Per-m-op count of queries whose output transitively depends on the m-op
-  // (reverse reachability from output streams). A count of zero means no
-  // surviving query reaches the m-op — the reference counts that drive
-  // RemoveQuery unsharing; also useful observability for live plans.
+  // (reverse reachability from output streams). O(outputs × cone); prefer
+  // ComputeOutputReach for the scale paths that only need none/one/shared.
   std::vector<int> QueryRefCounts() const;
+
+  // How many *distinct* query outputs reach each m-op / channel, saturated
+  // at 2: 0 = unreachable from any surviving output (prunable), 1 = serves
+  // exactly one query, 2 = shared by two or more. One O(plan + outputs)
+  // backward pass over the DAG — this is what RemoveQuery unsharing and the
+  // sharing-quality snapshot use instead of the per-query refcount walk.
+  struct OutputReach {
+    std::vector<uint8_t> mops;      // by MopId
+    std::vector<uint8_t> channels;  // by ChannelId
+  };
+  OutputReach ComputeOutputReach() const;
+
+  // --- mutation log -----------------------------------------------------------
+  // Total mutations published so far; a consumer stores this as its cursor.
+  uint64_t mutation_seq() const { return event_seq_; }
+  // Appends the events in (cursor, mutation_seq()] to *out. Returns false
+  // if the log has been compacted past `cursor` — the consumer must rebuild
+  // from the plan wholesale and reset its cursor to mutation_seq().
+  bool ReadEventsSince(uint64_t cursor, std::vector<PlanEvent>* out) const;
 
   // --- diagnostics -----------------------------------------------------------
   // Internal consistency: ports fully bound, schemas compatible along
-  // edges, DAG (no cycles). CHECK-fails with a message on violation.
+  // edges, DAG (no cycles), adjacency tables in sync. CHECK-fails with a
+  // message on violation.
   void Validate() const;
   std::string ToString() const;
 
  private:
   // True if the channel is externally fed or otherwise must never be
-  // collected (source channels, source-group channels).
-  bool ChannelPinned(ChannelId id) const;
+  // collected (source channels, source-group channels). O(1).
+  bool ChannelPinned(ChannelId id) const { return channel_pinned_[id]; }
   // Marks `id` dead if orphaned; returns true if it was collected.
   bool MaybeKillChannel(ChannelId id);
+  void Emit(PlanEvent::Kind kind, int32_t a, int32_t b = -1, int32_t c = -1);
+  // Drops (mop, port) from `channel`'s consumer list.
+  void EraseConsumer(ChannelId channel, MopId mop, int port);
+  // Recomputes adjacency, pinned flags, stream tables and mark counts from
+  // the primary representation (RollbackTo).
+  void RebuildDerivedState();
+  // Lazily rebuilds the output-mark lookup tables (invalidated by
+  // UnmarkOutput, which shifts mark indices).
+  void EnsureOutputTables() const;
 
   StreamRegistry streams_;
   std::vector<ChannelDef> channels_;
-  std::vector<char> channel_dead_;  // parallel to channels_
+  std::vector<char> channel_dead_;    // parallel to channels_
+  std::vector<char> channel_pinned_;  // parallel to channels_
   std::vector<std::unique_ptr<Mop>> mops_;
   std::vector<std::vector<ChannelId>> mop_inputs_;
   std::vector<std::vector<ChannelId>> mop_outputs_;
+  // Reverse adjacency, maintained by every wiring primitive.
+  std::vector<std::vector<ChannelEnd>> channel_consumers_;  // by channel
+  std::vector<ChannelEnd> channel_producer_;                // by channel
+  // Channels carrying each stream (append-only; never shrinks except on
+  // rollback). Seeds reachability walks without scanning all channels.
+  std::vector<std::vector<ChannelId>> stream_channels_;  // by stream id
   std::vector<std::pair<StreamId, ChannelId>> source_channels_;
   std::vector<OutputDef> outputs_;
+  // Output-mark count per stream (exact, eagerly maintained — the O(1)
+  // "does any query read this stream" test).
+  std::unordered_map<StreamId, int> output_mark_counts_;
+  // Lazily rebuilt lookup into outputs_ (indices shift on UnmarkOutput).
+  mutable bool output_tables_dirty_ = false;
+  mutable std::unordered_map<std::string, int> output_index_by_name_;
+  mutable std::unordered_map<StreamId, std::vector<int>> output_indices_by_stream_;
   int derived_counter_ = 0;
+
+  // Bounded mutation log.
+  std::deque<PlanEvent> events_;
+  uint64_t event_seq_ = 0;
 };
 
 }  // namespace rumor

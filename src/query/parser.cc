@@ -9,34 +9,22 @@ namespace rumor {
 
 void Catalog::AddSource(const std::string& name, Schema schema,
                         int sharable_label) {
-  entries_.push_back(
-      {name, QueryNode::Source(name, std::move(schema), sharable_label)});
+  by_name_[ToLower(name)].push_back(
+      QueryNode::Source(name, std::move(schema), sharable_label));
 }
 
 void Catalog::AddQuery(const Query& query) {
-  entries_.push_back({query.name, query.root});
+  by_name_[ToLower(query.name)].push_back(query.root);
 }
 
 bool Catalog::Remove(const std::string& name) {
-  bool removed = false;
-  const std::string needle = ToLower(name);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (ToLower(it->name) == needle) {
-      it = entries_.erase(it);
-      removed = true;
-    } else {
-      ++it;
-    }
-  }
-  return removed;
+  return by_name_.erase(ToLower(name)) > 0;
 }
 
 QueryNodePtr Catalog::Resolve(const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
   // Later definitions shadow earlier ones.
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (ToLower(it->name) == ToLower(name)) return it->node;
-  }
-  return nullptr;
+  return it == by_name_.end() ? nullptr : it->second.back();
 }
 
 namespace {

@@ -37,6 +37,7 @@
 #define RUMOR_QUERY_PARSER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -59,11 +60,11 @@ class Catalog {
   QueryNodePtr Resolve(const std::string& name) const;
 
  private:
-  struct Entry {
-    std::string name;
-    QueryNodePtr node;
-  };
-  std::vector<Entry> entries_;
+  // Lowercase name -> definitions in registration order; the latest (back)
+  // shadows earlier ones. Hash lookup keeps per-query resolution O(1) at
+  // 10^5..10^6 registered queries (a linear entry scan here was quadratic
+  // over a large AddQuery workload).
+  std::unordered_map<std::string, std::vector<QueryNodePtr>> by_name_;
 };
 
 // Parses one query (no name prefix, no trailing ';').

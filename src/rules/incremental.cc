@@ -1,5 +1,6 @@
 #include "rules/incremental.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
@@ -107,7 +108,12 @@ int AttachSelections(Plan* plan) {
     if (m.type() != MopType::kPredicateIndex) continue;
     const auto& index = static_cast<const PredicateIndexMop&>(m);
     if (index.output_mode() != OutputMode::kPerMemberPorts) continue;
-    index_by_input.emplace(plan->input_channel(id, 0), id);
+    // Two per-member-port indexes can coexist on one channel (e.g. after a
+    // sharded re-merge); attach to the *oldest* deterministically instead
+    // of whichever the scan happens to see first.
+    auto [it, inserted] = index_by_input.emplace(plan->input_channel(id, 0),
+                                                 id);
+    if (!inserted && id < it->second) it->second = id;
   }
   if (index_by_input.empty()) return 0;
   int attached = 0;
@@ -177,7 +183,10 @@ int AttachAggregates(Plan* plan) {
     AggregateMop::AttachResult res = target.AttachMember(agg.member(0));
     if (res.reused_slot) {
       // The reactivated slot keeps its port and channel; route the new
-      // query's consumers and output mark onto them.
+      // query's consumers and output mark onto them. The slot's member spec
+      // changed in place (no wiring event), so publish the mutation for
+      // signature-keyed log consumers.
+      plan->NotifyMopMutated(it->second);
       ChannelId slot_out = plan->output_channel(it->second, res.member);
       StreamId fresh_stream = plan->channel(out).stream_at(0);
       StreamId slot_stream = plan->channel(slot_out).stream_at(0);
@@ -190,38 +199,6 @@ int AttachAggregates(Plan* plan) {
     ++attached;
   }
   return attached;
-}
-
-// Channels on the reverse-reachability closure of the surviving query
-// outputs (a channel is needed iff it carries an output stream or feeds a
-// needed m-op).
-std::vector<char> NeededChannels(const Plan& plan) {
-  std::vector<char> chan_needed(plan.num_channels(), 0);
-  std::vector<char> mop_needed(plan.num_mops(), 0);
-  std::vector<ChannelId> worklist;
-  for (const Plan::OutputDef& def : plan.outputs()) {
-    for (ChannelId c = 0; c < plan.num_channels(); ++c) {
-      if (plan.channel_dead(c) || chan_needed[c]) continue;
-      if (plan.channel(c).SlotOf(def.stream).has_value()) {
-        chan_needed[c] = 1;
-        worklist.push_back(c);
-      }
-    }
-  }
-  while (!worklist.empty()) {
-    ChannelId c = worklist.back();
-    worklist.pop_back();
-    std::optional<ChannelEnd> producer = plan.ProducerOf(c);
-    if (!producer.has_value() || mop_needed[producer->mop]) continue;
-    mop_needed[producer->mop] = 1;
-    for (ChannelId in : plan.input_channels(producer->mop)) {
-      if (in != kInvalidChannel && !chan_needed[in]) {
-        chan_needed[in] = 1;
-        worklist.push_back(in);
-      }
-    }
-  }
-  return chan_needed;
 }
 
 }  // namespace
@@ -277,20 +254,193 @@ IncrementalMergeStats MergeNewQuery(Plan* plan,
   return stats;
 }
 
+namespace {
+
+// Applies one freshly probed candidate. Each arm performs exactly the plan
+// mutation the corresponding scan-based rule performs (CseRule / MemberCse /
+// AttachSelections / AttachAggregates / PredicateIndexRule), so the indexed
+// path is plan-identical to the oracle. Returns false if the candidate no
+// longer applies.
+bool ApplyCandidate(Plan* plan, ShareIndex* index,
+                    const ShareIndex::Candidate& c,
+                    IncrementalMergeStats* stats) {
+  switch (c.kind) {
+    case ShareIndex::Candidate::kCseExact:
+    case ShareIndex::Candidate::kCseMember: {
+      ChannelId fresh_out = plan->output_channel(c.fresh, 0);
+      int port = c.kind == ShareIndex::Candidate::kCseMember ? c.member : 0;
+      ChannelId kept_out = plan->output_channel(c.target, port);
+      StreamId fresh_stream = plan->channel(fresh_out).stream_at(0);
+      StreamId kept_stream = plan->channel(kept_out).stream_at(0);
+      plan->MoveConsumers(fresh_out, kept_out);
+      plan->RemapOutput(fresh_stream, kept_stream);
+      plan->RemoveMop(c.fresh);
+      ++stats->cse_merges;
+      return true;
+    }
+    case ShareIndex::Candidate::kAttachSelection: {
+      const auto& sel = static_cast<const SelectionMop&>(plan->mop(c.fresh));
+      SelectionDef def = sel.member(0).def;
+      ChannelId out = plan->output_channel(c.fresh, 0);
+      auto& target = static_cast<PredicateIndexMop&>(plan->mop(c.target));
+      target.AddMember(std::move(def));
+      plan->AddMopOutputPort(c.target, out);
+      plan->RemoveMop(c.fresh);
+      ++stats->attach_merges;
+      return true;
+    }
+    case ShareIndex::Candidate::kAttachAggregate: {
+      const auto& fresh = static_cast<const AggregateMop&>(plan->mop(c.fresh));
+      AggregateMop::Member member = fresh.member(0);
+      auto& target = static_cast<AggregateMop&>(plan->mop(c.target));
+      if (!target.CanAttach(member)) return false;
+      ChannelId out = plan->output_channel(c.fresh, 0);
+      AggregateMop::AttachResult res = target.AttachMember(member);
+      if (res.reused_slot) {
+        // In-place spec change on the reused slot: dirty the target so the
+        // index re-derives its member signatures.
+        plan->NotifyMopMutated(c.target);
+        ChannelId slot_out = plan->output_channel(c.target, res.member);
+        StreamId fresh_stream = plan->channel(out).stream_at(0);
+        StreamId slot_stream = plan->channel(slot_out).stream_at(0);
+        plan->MoveConsumers(out, slot_out);
+        plan->RemapOutput(fresh_stream, slot_stream);
+      } else {
+        plan->AddMopOutputPort(c.target, out);
+      }
+      plan->RemoveMop(c.fresh);
+      ++stats->attach_merges;
+      return true;
+    }
+    case ShareIndex::Candidate::kFormIndex: {
+      std::vector<MopId> singles = index->SinglesOn(c.channel);
+      if (singles.size() < 2) return false;
+      std::vector<SelectionDef> defs;
+      std::vector<ChannelId> outs;
+      defs.reserve(singles.size());
+      for (MopId id : singles) {
+        const auto& sel = static_cast<const SelectionMop&>(plan->mop(id));
+        defs.push_back(sel.member(0).def);
+        outs.push_back(plan->output_channel(id, 0));
+      }
+      MopId formed = plan->AddMop(std::make_unique<PredicateIndexMop>(
+          std::move(defs), OutputMode::kPerMemberPorts));
+      plan->BindInput(formed, 0, c.channel);
+      for (size_t i = 0; i < outs.size(); ++i) {
+        plan->BindOutput(formed, static_cast<int>(i), outs[i]);
+      }
+      for (MopId id : singles) plan->RemoveMop(id);
+      ++stats->rule_merges;
+      return true;
+    }
+    case ShareIndex::Candidate::kNone:
+      break;
+  }
+  return false;
+}
+
+}  // namespace
+
+IncrementalMergeStats MergeNewQueryIndexed(Plan* plan, ShareIndex* index,
+                                           MopId first_fresh,
+                                           const OptimizerOptions& options) {
+  RUMOR_CHECK(index->plan() == plan);
+  IncrementalMergeStats stats;
+  // One benefit-ordered sub-pass over one group of merge kinds: probe every
+  // fresh m-op, sort the candidates greedy best-first by estimated saved
+  // work (ties oldest-fresh-first — the order the scan path's LiveMops
+  // iteration would apply them), re-probe each against the synced index at
+  // apply time (earlier merges in the batch can invalidate or improve it)
+  // and apply what the index says *now*.
+  std::vector<ShareIndex::Candidate> cands;
+  auto run_group = [&](uint32_t mask) {
+    index->Sync();
+    cands.clear();
+    for (MopId id = first_fresh; id < plan->num_mops(); ++id) {
+      if (!plan->IsLive(id)) continue;
+      ShareIndex::Candidate c = index->Probe(id, mask);
+      if (c.kind != ShareIndex::Candidate::kNone) cands.push_back(c);
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [](const ShareIndex::Candidate& a,
+                        const ShareIndex::Candidate& b) {
+                       if (a.benefit != b.benefit) return a.benefit > b.benefit;
+                       return a.fresh < b.fresh;
+                     });
+    int applied = 0;
+    for (const ShareIndex::Candidate& c : cands) {
+      index->Sync();
+      ShareIndex::Candidate now = index->Probe(c.fresh, mask);
+      if (now.kind == ShareIndex::Candidate::kNone) continue;
+      if (ApplyCandidate(plan, index, now, &stats)) ++applied;
+    }
+    return applied;
+  };
+  // The scan path's round is a sequence of *ordered* phases — exact CSE to
+  // fixpoint (CseRule), member CSE in one forward pass (MemberCse), then sσ
+  // (AttachSelections + PredicateIndexRule), then sα (AttachAggregates) —
+  // and each phase sees the rewires of the phases before it in the same
+  // round. Replicating that phase structure (rather than one all-kinds
+  // batch per round) is what makes the indexed path plan-identical: e.g.
+  // an aggregate whose σ was member-merged onto a warm channel is claimed
+  // by the member-CSE cascade or this round's sα phase, exactly as the
+  // scan decides it, never by the next round's exact-CSE phase.
+  for (int round = 0; round < options.max_rounds; ++round) {
+    int applied = 0;
+    if (options.enable_cse) {
+      // Exact CSE cascades to fixpoint within the phase: merging two
+      // duplicates can make their (fresh) parents identical.
+      while (int n = run_group(
+                 ShareIndex::MaskOf(ShareIndex::Candidate::kCseExact))) {
+        applied += n;
+      }
+      // Member CSE is one forward pass in id order with immediate effect:
+      // a σ member-merge rewires its downstream α's input onto the warm
+      // channel, and the α can then member-match *later in the same pass*
+      // (MemberCse's in-pass cascade).
+      for (MopId id = first_fresh; id < plan->num_mops(); ++id) {
+        if (!plan->IsLive(id)) continue;
+        index->Sync();
+        ShareIndex::Candidate c = index->Probe(
+            id, ShareIndex::MaskOf(ShareIndex::Candidate::kCseMember));
+        if (c.kind == ShareIndex::Candidate::kNone) continue;
+        if (ApplyCandidate(plan, index, c, &stats)) ++applied;
+      }
+    }
+    if (options.enable_predicate_index) {
+      applied += run_group(
+          ShareIndex::MaskOf(ShareIndex::Candidate::kAttachSelection) |
+          ShareIndex::MaskOf(ShareIndex::Candidate::kFormIndex));
+    }
+    if (options.enable_shared_aggregate) {
+      applied += run_group(
+          ShareIndex::MaskOf(ShareIndex::Candidate::kAttachAggregate));
+    }
+    if (applied == 0) break;
+  }
+  index->Sync();
+  return stats;
+}
+
 PruneStats PruneUnreachable(Plan* plan) {
   PruneStats stats;
-  // Operator-level teardown: reference count zero = no surviving query
-  // output depends on the m-op.
-  std::vector<int> refs = plan->QueryRefCounts();
+  // One backward pass from the surviving query outputs answers both
+  // questions below: reach 0 on an m-op = no surviving output depends on it
+  // (remove); reach 0 on a channel = no surviving query reads it (its
+  // member slot can be dropped). O(plan + outputs) — the former per-query
+  // refcount walk plus per-output channel rescan was what made RemoveQuery
+  // quadratic on large plans. Removing unreachable m-ops cannot change the
+  // reach of anything else, so one snapshot serves both phases.
+  const Plan::OutputReach reach = plan->ComputeOutputReach();
   for (MopId id : plan->LiveMops()) {
-    if (refs[id] == 0) {
+    if (reach.mops[id] == 0) {
       plan->RemoveMop(id);
       ++stats.removed_mops;
     }
   }
 
   // Member-level teardown on surviving shared m-ops.
-  std::vector<char> needed = NeededChannels(*plan);
+  const std::vector<uint8_t>& needed = reach.channels;
   std::vector<MopId> index_rebuilds;
   for (MopId id : plan->LiveMops()) {
     Mop& m = plan->mop(id);

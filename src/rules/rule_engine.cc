@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "rules/incremental.h"
+#include "rules/share_index.h"
+
 namespace rumor {
 
 std::string OptimizeStats::ToString() const {
@@ -51,7 +54,19 @@ std::vector<int> RuleEngine::Run(Plan* plan, const SharableAnalysis& sharable,
   return merges;
 }
 
-OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options) {
+OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options,
+                       ShareIndex* index) {
+  OptimizeStats stats;
+  if (index != nullptr && options.use_share_index) {
+    // Seeded pass: resolve CSE and sσ through the index up front. sα/s⋈
+    // and the c-family stay with their scan rules (their batch plan shapes
+    // depend on whole-group decisions the per-m-op probe does not make).
+    OptimizerOptions seeded = options;
+    seeded.enable_shared_aggregate = false;
+    IncrementalMergeStats pre = MergeNewQueryIndexed(plan, index, 0, seeded);
+    stats.cse_merges += pre.cse_merges;
+    stats.predicate_index_merges += pre.attach_merges + pre.rule_merges;
+  }
   SharableAnalysis sharable(*plan);
 
   RuleEngine engine;
@@ -84,7 +99,6 @@ OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options) {
 
   std::vector<int> merges = engine.Run(plan, sharable, options.max_rounds);
 
-  OptimizeStats stats;
   for (size_t i = 0; i < merges.size(); ++i) {
     switch (which[i]) {
       case 0: stats.cse_merges += merges[i]; break;
@@ -97,6 +111,7 @@ OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options) {
   stats.rounds = options.max_rounds;
   FillSharingQuality(*plan, &stats);
   plan->Validate();
+  if (index != nullptr) index->Sync();
   return stats;
 }
 
@@ -105,11 +120,14 @@ void FillSharingQuality(const Plan& plan, OptimizeStats* stats) {
   stats->live_mops = 0;
   stats->total_members = 0;
   stats->shared_mops = 0;
-  const std::vector<int> refs = plan.QueryRefCounts();
+  // One backward pass; saturated-at-2 reach is exactly the shared/unshared
+  // distinction this snapshot needs (the per-query refcount walk it
+  // replaces was O(outputs × cone) — quadratic at 10^5 queries).
+  const Plan::OutputReach reach = plan.ComputeOutputReach();
   for (MopId id : plan.LiveMops()) {
     ++stats->live_mops;
     stats->total_members += plan.mop(id).num_members();
-    if (refs[id] > 1) ++stats->shared_mops;
+    if (reach.mops[id] >= 2) ++stats->shared_mops;
   }
 }
 

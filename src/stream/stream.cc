@@ -12,6 +12,7 @@ StreamId StreamRegistry::AddSource(const std::string& name, Schema schema,
   def.schema = std::move(schema);
   def.is_source = true;
   def.sharable_label = sharable_label;
+  source_index_.emplace(def.name, def.id);
   streams_.push_back(std::move(def));
   return streams_.back().id;
 }
@@ -28,10 +29,9 @@ StreamId StreamRegistry::AddDerived(const std::string& name, Schema schema) {
 
 std::optional<StreamId> StreamRegistry::FindSource(
     const std::string& name) const {
-  for (const StreamDef& def : streams_) {
-    if (def.is_source && def.name == name) return def.id;
-  }
-  return std::nullopt;
+  auto it = source_index_.find(name);
+  if (it == source_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<StreamId> StreamRegistry::Sources() const {

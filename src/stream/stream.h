@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/schema.h"
@@ -51,21 +52,29 @@ class StreamRegistry {
   }
   const Schema& SchemaOf(StreamId id) const { return Get(id).schema; }
 
-  // Source stream by name.
+  // Source stream by name. O(1) — compilation resolves every source
+  // reference of every added query through this.
   std::optional<StreamId> FindSource(const std::string& name) const;
 
   // Drops every stream registered after the first `n` (rollback of a failed
   // live-plan compilation; ids are dense, so only a suffix can go).
   void TruncateTo(int n) {
     RUMOR_CHECK(n >= 0 && n <= size());
+    for (int i = n; i < size(); ++i) {
+      if (streams_[i].is_source) source_index_.erase(streams_[i].name);
+    }
     streams_.resize(n);
   }
 
   // All source stream ids.
   std::vector<StreamId> Sources() const;
+  // Count of source streams, O(1) (cheap change detection for caches keyed
+  // on the source set, e.g. the engine's source-name table).
+  int num_sources() const { return static_cast<int>(source_index_.size()); }
 
  private:
   std::vector<StreamDef> streams_;
+  std::unordered_map<std::string, StreamId> source_index_;  // by name
 };
 
 }  // namespace rumor

@@ -162,5 +162,75 @@ TEST(DynamicChurnTest, ChurnWhileShardedMatchesFreshEngine) {
   RunRandomChurn(3);
 }
 
+// The indexed merge path (ShareIndex-driven, the production default) against
+// the scan-based oracle (use_share_index = false): same random add/remove/
+// push interleaving into both engines, every output recorded from the first
+// tuple — merging through the index must be invisible, down to byte-equal
+// result sequences and byte-equal final plans.
+TEST(DynamicChurnTest, IndexedMergingMatchesScanOracle) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 2);
+    OptimizerOptions scan_options;
+    scan_options.use_share_index = false;
+    StreamEngine indexed;
+    StreamEngine scan(scan_options);
+    Outputs indexed_rows, scan_rows;
+    for (StreamEngine* e : {&indexed, &scan}) {
+      ASSERT_TRUE(e->RegisterSource("CPU", CpuSchema()).ok());
+    }
+    indexed.SetOutputHandler([&](const std::string& q, const Tuple& t) {
+      indexed_rows[q].push_back(t.ToString() + "@" + std::to_string(t.ts()));
+    });
+    scan.SetOutputHandler([&](const std::string& q, const Tuple& t) {
+      scan_rows[q].push_back(t.ToString() + "@" + std::to_string(t.ts()));
+    });
+
+    int name_counter = 0;
+    std::vector<std::string> active;
+    for (int i = 0; i < 2; ++i) {
+      std::string name = "q" + std::to_string(name_counter++);
+      std::string rql = MakeRql(rng);
+      active.push_back(name);
+      ASSERT_TRUE(indexed.AddQueryText(rql, name).ok());
+      ASSERT_TRUE(scan.AddQueryText(rql, name).ok());
+    }
+    ASSERT_TRUE(indexed.Start().ok());
+    ASSERT_TRUE(scan.Start().ok());
+    ASSERT_NE(indexed.share_index_for_testing(), nullptr);
+    ASSERT_EQ(scan.share_index_for_testing(), nullptr);
+
+    int64_t ts = 0;
+    for (int step = 0; step < 80; ++step) {
+      int64_t r = rng.UniformInt(0, 9);
+      if (r < 6) {
+        int n = static_cast<int>(rng.UniformInt(1, 4));
+        for (int i = 0; i < n; ++i) {
+          Tuple t = Tuple::MakeInts(
+              {rng.UniformInt(0, 3), rng.UniformInt(0, 100)}, ++ts);
+          ASSERT_TRUE(indexed.Push("CPU", t).ok());
+          ASSERT_TRUE(scan.Push("CPU", t).ok());
+        }
+      } else if (r < 8 || active.size() <= 1) {
+        std::string name = "q" + std::to_string(name_counter++);
+        std::string rql = MakeRql(rng);
+        active.push_back(name);
+        ASSERT_TRUE(indexed.AddQueryText(rql, name).ok()) << rql;
+        ASSERT_TRUE(scan.AddQueryText(rql, name).ok()) << rql;
+      } else {
+        size_t victim = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(active.size()) - 1));
+        ASSERT_TRUE(indexed.RemoveQuery(active[victim]).ok());
+        ASSERT_TRUE(scan.RemoveQuery(active[victim]).ok());
+        active.erase(active.begin() + victim);
+      }
+    }
+
+    EXPECT_EQ(indexed_rows, scan_rows) << "seed " << seed;
+    // Plan identity, not just output equality: the index resolved every
+    // merge to the exact target the scan would have chosen.
+    EXPECT_EQ(indexed.Explain(), scan.Explain()) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace rumor

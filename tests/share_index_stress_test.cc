@@ -1,0 +1,111 @@
+// RemoveQuery churn stress (satellite of the indexed share-point work): add
+// ~10k queries, remove a random half, re-add a fresh batch — and after every
+// phase assert the engine's live ShareIndex is byte-identical to an index
+// rebuilt from scratch over the same plan. This is the staleness oracle: a
+// single missed or phantom table entry after thousands of incremental
+// Sync() deltas shows up as a DebugDump diff.
+//
+// The predicate pool is bounded (~200 distinct shapes) so the shared plan
+// stays small while the add/remove volume stays large: the point is to
+// grind the index's delta maintenance, not to grow a 10k-m-op plan.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/stream_engine.h"
+#include "common/rng.h"
+#include "rules/share_index.h"
+
+namespace rumor {
+namespace {
+
+constexpr int kQueries = 10000;
+constexpr int kSpotCheckEvery = 1000;
+
+Schema CpuSchema() {
+  return Schema({{"pid", ValueType::kInt}, {"load", ValueType::kInt}});
+}
+
+// ~200 distinct query texts: 100 equality selections, 50 range selections,
+// ~50 aggregate shapes. Heavy duplication across 10k adds exercises every
+// merge kind (exact CSE, member CSE, σ attach/formation, α attach).
+std::string PooledRql(Rng& rng) {
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      return "SELECT * FROM CPU WHERE pid = " +
+             std::to_string(rng.UniformInt(0, 99));
+    case 1:
+      return "SELECT * FROM CPU WHERE load > " +
+             std::to_string(rng.UniformInt(0, 49));
+    case 2:
+      return "SELECT pid, AVG(load) FROM CPU [RANGE " +
+             std::to_string(4 + 4 * rng.UniformInt(0, 4)) + "] GROUP BY pid";
+    default:
+      return "SELECT pid, MAX(load) FROM CPU [RANGE " +
+             std::to_string(4 + 4 * rng.UniformInt(0, 4)) + "] GROUP BY pid";
+  }
+}
+
+void ExpectIndexMatchesRebuild(StreamEngine& engine, const char* phase,
+                               int step) {
+  const ShareIndex* live = engine.share_index_for_testing();
+  ASSERT_NE(live, nullptr);
+  ShareIndex rebuilt(engine.mutable_plan_for_testing());
+  ASSERT_EQ(live->DebugDump(), rebuilt.DebugDump())
+      << "phase " << phase << " step " << step;
+}
+
+TEST(ShareIndexStressTest, TenThousandQueryChurnKeepsIndexExact) {
+  Rng rng(0xc0ffee);
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+
+  // Phase 1: add all (the first query rides Start(), the rest merge live).
+  std::vector<std::string> names;
+  names.reserve(kQueries);
+  ASSERT_TRUE(engine.AddQueryText(PooledRql(rng), "q0").ok());
+  names.push_back("q0");
+  ASSERT_TRUE(engine.Start().ok());
+  for (int i = 1; i < kQueries; ++i) {
+    std::string name = "q" + std::to_string(i);
+    ASSERT_TRUE(engine.AddQueryText(PooledRql(rng), name).ok());
+    names.push_back(name);
+    if ((i + 1) % kSpotCheckEvery == 0) {
+      ExpectIndexMatchesRebuild(engine, "add", i + 1);
+    }
+  }
+  ExpectIndexMatchesRebuild(engine, "add-done", kQueries);
+  EXPECT_EQ(engine.num_queries(), kQueries);
+
+  // Phase 2: remove a random half.
+  int removed = 0;
+  for (size_t i = names.size(); i-- > 0;) {
+    if (rng.UniformInt(0, 1) == 0) continue;
+    ASSERT_TRUE(engine.RemoveQuery(names[i]).ok());
+    names.erase(names.begin() + i);
+    ++removed;
+    if (removed % kSpotCheckEvery == 0) {
+      ExpectIndexMatchesRebuild(engine, "remove", removed);
+    }
+  }
+  ExpectIndexMatchesRebuild(engine, "remove-done", removed);
+  EXPECT_EQ(engine.num_queries(), kQueries - removed);
+
+  // Phase 3: re-add a fresh batch over the survivors.
+  for (int i = 0; i < removed; ++i) {
+    std::string name = "r" + std::to_string(i);
+    ASSERT_TRUE(engine.AddQueryText(PooledRql(rng), name).ok());
+    if ((i + 1) % kSpotCheckEvery == 0) {
+      ExpectIndexMatchesRebuild(engine, "re-add", i + 1);
+    }
+  }
+  ExpectIndexMatchesRebuild(engine, "re-add-done", removed);
+  EXPECT_EQ(engine.num_queries(), kQueries);
+
+  // The merged plan stayed bounded by the shape pool, not the add volume.
+  EXPECT_LT(engine.CollectMetrics().live_mops, 300);
+}
+
+}  // namespace
+}  // namespace rumor
