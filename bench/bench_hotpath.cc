@@ -18,15 +18,18 @@
 // string-bearing Value, per-event heap-allocated membership bit vectors, and
 // per-emission task staging for consumer-less output channels.
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/stream_engine.h"
 #include "bench/figure_common.h"
 #include "common/json_writer.h"
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "mop/predicate_index_mop.h"
 #include "query/builder.h"
 
@@ -150,6 +153,61 @@ int main() {
                 demo, engine.ExplainAnalyze().c_str());
     std::printf("\n# metrics snapshot\n%s",
                 engine.CollectMetrics().ToString().c_str());
+  }
+
+  // Soak demo: a short sharded run with the metrics ticker sampling a
+  // throughput time series and the control-plane trace recorder on. Writes
+  // BENCH_metrics_timeseries.json (the tick ring) and BENCH_trace.json
+  // (Chrome trace-event JSON — open in chrome://tracing or ui.perfetto.dev
+  // to see the Optimize / incremental-merge / epoch-flush spans).
+  {
+    Trace::Clear();
+    Trace::Enable(true);
+    StreamEngine soak;
+    RUMOR_CHECK(soak.SetShardCount(2).ok());
+    RUMOR_CHECK(soak.RegisterSource("S", schema, /*sharable_label=*/0).ok());
+    for (int i = 0; i < 10; ++i) {
+      Query copy = queries[i];
+      RUMOR_CHECK(soak.AddQuery(std::move(copy)).ok());
+    }
+    RUMOR_CHECK(soak.Start().ok());  // -> Optimize span
+    soak.StartMetricsTicker(std::chrono::milliseconds(2));
+    const int64_t soak_events = std::min<int64_t>(n, 20000);
+    const int64_t chunk = 256;
+    std::vector<Tuple> batch_buf;
+    for (int64_t i = 0; i < soak_events; i += chunk) {
+      batch_buf.clear();
+      for (int64_t j = i; j < std::min(soak_events, i + chunk); ++j) {
+        batch_buf.push_back(events[j].tuple);
+      }
+      RUMOR_CHECK(soak.PushBatch("S", batch_buf).ok());
+      if (i % (chunk * 16) == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    // A live add mid-soak -> incremental-merge span.
+    RUMOR_CHECK(
+        soak.AddQueryText("SELECT * FROM S WHERE a0 = 1", "Qlive").ok());
+    soak.Flush();  // -> epoch-flush span
+    // Let at least one more tick land after the flush.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    soak.StopMetricsTicker();
+    Trace::Enable(false);
+
+    const std::string series = soak.MetricsHistoryJson();
+    RUMOR_CHECK(!soak.MetricsHistory().empty())
+        << "soak produced no metrics ticks";
+    WriteReport("BENCH_metrics_timeseries.json", series);
+    const std::string trace = Trace::DumpChromeJson();
+#if RUMOR_METRICS_ENABLED
+    RUMOR_CHECK(trace.find("\"Optimize\"") != std::string::npos &&
+                trace.find("ShardedExecutor::Flush") != std::string::npos)
+        << "trace is missing optimizer/epoch-flush spans";
+#endif
+    WriteReport("BENCH_trace.json", trace);
+    std::printf("# soak: %zu metrics ticks, %" PRId64 " trace spans\n",
+                soak.MetricsHistory().size(), Trace::span_count());
+    Trace::Clear();
   }
 
   // The metrics-overhead acceptance check: the vectorized batch=64 cell of

@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/json_writer.h"
 #include "common/str_util.h"
 #include "plan/explain.h"
 #include "rules/incremental.h"
 
 namespace rumor {
+
+namespace {
+int64_t TickerNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 // Routes output-stream tuples to the per-query handler. One stream may
 // serve several (CSE-merged) queries. StreamIds are small and contiguous,
@@ -34,11 +43,14 @@ class StreamEngine::HandlerSink : public OutputSink {
     }
   }
   void SetHandler(const OutputHandler* handler) { handler_ = handler; }
+  // Engine-owned running total of routed results (read by the ticker).
+  void SetTotalCounter(std::atomic<int64_t>* total) { total_ = total; }
 
   void OnOutput(StreamId stream, const Tuple& tuple) override {
     if (stream < 0 || stream >= static_cast<StreamId>(routes_.size())) return;
     for (const Route& route : routes_[stream]) {
       ++*route.count;
+      RUMOR_METRIC(total_->fetch_add(1, std::memory_order_relaxed));
       if (handler_ != nullptr && *handler_) (*handler_)(route.name, tuple);
     }
   }
@@ -56,12 +68,13 @@ class StreamEngine::HandlerSink : public OutputSink {
   std::vector<std::vector<Route>> routes_;  // by StreamId
   std::unordered_map<std::string, int64_t> counts_;
   const OutputHandler* handler_ = nullptr;
+  std::atomic<int64_t>* total_ = nullptr;  // set before any OnOutput
 };
 
 StreamEngine::StreamEngine(OptimizerOptions options)
     : options_(options) {}
 
-StreamEngine::~StreamEngine() = default;
+StreamEngine::~StreamEngine() { StopMetricsTicker(); }
 
 Status StreamEngine::RegisterSource(const std::string& name, Schema schema,
                                     int sharable_label) {
@@ -272,6 +285,7 @@ Status StreamEngine::Start() {
   if (shard_count_ > 1) {
     sink_ = std::make_unique<HandlerSink>();
     sink_->SetHandler(&handler_);
+    sink_->SetTotalCounter(&outputs_total_);
     ShardedExecutor::Options sharded_options;
     sharded_options.num_shards = shard_count_;
     sharded_options.metrics = metrics_options_;
@@ -320,6 +334,7 @@ Status StreamEngine::Start() {
 
   sink_ = std::make_unique<HandlerSink>();
   sink_->SetHandler(&handler_);
+  sink_->SetTotalCounter(&outputs_total_);
   for (const Plan::OutputDef& def : plan_.outputs()) {
     sink_->Bind(def.stream, def.query_name);
   }
@@ -367,9 +382,11 @@ Status StreamEngine::Push(const std::string& source, const Tuple& tuple) {
           "sharded");
     }
     sharded_->PushSource(id.value(), tuple);
-    return Status::OK();
+  } else {
+    executor_->PushSource(id.value(), tuple);
   }
-  executor_->PushSource(id.value(), tuple);
+  RUMOR_METRIC(push_calls_.fetch_add(1, std::memory_order_relaxed));
+  RUMOR_METRIC(tuples_pushed_.fetch_add(1, std::memory_order_relaxed));
   return Status::OK();
 }
 
@@ -384,9 +401,12 @@ Status StreamEngine::PushBatch(const std::string& source,
           "sharded");
     }
     sharded_->PushSourceBatch(id.value(), tuples);
-    return Status::OK();
+  } else {
+    executor_->PushSourceBatch(id.value(), tuples);
   }
-  executor_->PushSourceBatch(id.value(), tuples);
+  RUMOR_METRIC(push_calls_.fetch_add(1, std::memory_order_relaxed));
+  RUMOR_METRIC(tuples_pushed_.fetch_add(
+      static_cast<int64_t>(tuples.size()), std::memory_order_relaxed));
   return Status::OK();
 }
 
@@ -409,8 +429,45 @@ std::string StreamEngine::ExplainAnalyze() const {
   // Sharded: replicas carry identical structure; shard 0's counters stand in
   // (CollectMetrics aggregates across all shards).
   if (sharded_ != nullptr) sharded_->Flush();
-  return rumor::ExplainAnalyze(ActivePlan());
+  std::string out = rumor::ExplainAnalyze(ActivePlan());
+  const LatencyHistogram* latency =
+      sharded_ != nullptr
+          ? &sharded_->merge_latency()
+          : (executor_ != nullptr ? &executor_->output_latency() : nullptr);
+  if (latency != nullptr && latency->count() > 0) {
+    out += StrCat("latency (ingress->sink, sampled): ", latency->Summary(),
+                  "\n");
+  }
+  const ShareIndex* index =
+      sharded_ != nullptr
+          ? (shard_indexes_.empty() ? nullptr : shard_indexes_[0].get())
+          : share_index_.get();
+  if (index != nullptr) {
+    const ShareIndex::Stats s = index->GetStats();
+    out += StrCat("share index: exact=", s.exact_entries,
+                  " member=", s.member_entries,
+                  " index_targets=", s.index_target_entries,
+                  " sel_singles=", s.sel_single_entries,
+                  " agg_targets=", s.agg_target_entries, " bytes≈",
+                  s.approx_bytes, "\n");
+  }
+  return out;
 }
+
+namespace {
+void FillShareIndexStats(const ShareIndex* index, EngineMetrics* em) {
+  if (index == nullptr) return;
+  const ShareIndex::Stats s = index->GetStats();
+  em->share_index.present = true;
+  em->share_index.exact_entries = s.exact_entries;
+  em->share_index.member_entries = s.member_entries;
+  em->share_index.index_target_entries = s.index_target_entries;
+  em->share_index.sel_single_entries = s.sel_single_entries;
+  em->share_index.agg_target_entries = s.agg_target_entries;
+  em->share_index.posting_entries = s.posting_entries;
+  em->share_index.approx_bytes = s.approx_bytes;
+}
+}  // namespace
 
 EngineMetrics StreamEngine::CollectMetrics() const {
   if (sharded_ != nullptr) {
@@ -418,6 +475,13 @@ EngineMetrics StreamEngine::CollectMetrics() const {
     EngineMetrics em = CollectEngineMetrics(sharded_->plan(0), stats_, 0);
     em.shards = sharded_->num_shards();
     em.shard_rows = sharded_->ShardRows();
+    // End-to-end latency: push call to ordered-merge delivery, recorded on
+    // the control thread.
+    em.latency = sharded_->merge_latency();
+    // Shard 0's share index stands in (replicas stay identical); workers are
+    // quiesced by the Flush above.
+    FillShareIndexStats(
+        shard_indexes_.empty() ? nullptr : shard_indexes_[0].get(), &em);
     // Per-m-op rows: sum every replica's counters by m-op id. Data-plane
     // counters: sum each worker's published snapshot plus this (control)
     // thread's own, which pays for the ordered-merge decode.
@@ -438,6 +502,8 @@ EngineMetrics StreamEngine::CollectMetrics() const {
   }
   EngineMetrics em = CollectEngineMetrics(
       plan_, stats_, executor_ != nullptr ? executor_->deliveries() : 0);
+  if (executor_ != nullptr) em.latency = executor_->output_latency();
+  FillShareIndexStats(share_index_.get(), &em);
   // Only the engine knows live query names and delivered counts; a raw-plan
   // caller gets empty query_rows.
   em.queries = num_queries();
@@ -450,6 +516,64 @@ EngineMetrics StreamEngine::CollectMetrics() const {
 void StreamEngine::SetMetricsOptions(const MetricsOptions& options) {
   metrics_options_ = options;
   if (executor_ != nullptr) executor_->SetMetricsOptions(options);
+}
+
+void StreamEngine::StartMetricsTicker(std::chrono::milliseconds interval,
+                                      size_t history_capacity) {
+  StopMetricsTicker();
+  {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_cap_ = history_capacity == 0 ? 1 : history_capacity;
+  }
+  ticker_stop_ = false;
+  ticker_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(ticker_mu_);
+    for (;;) {
+      if (ticker_cv_.wait_for(lock, interval,
+                              [this] { return ticker_stop_; })) {
+        return;
+      }
+      MetricsTick tick;
+      tick.t_ns = TickerNowNs();
+      tick.push_calls = push_calls_.load(std::memory_order_relaxed);
+      tick.tuples_pushed = tuples_pushed_.load(std::memory_order_relaxed);
+      tick.outputs = outputs_total_.load(std::memory_order_relaxed);
+      std::lock_guard<std::mutex> hist(history_mu_);
+      history_.push_back(tick);
+      while (history_.size() > history_cap_) history_.pop_front();
+    }
+  });
+}
+
+void StreamEngine::StopMetricsTicker() {
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    ticker_stop_ = true;
+  }
+  ticker_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+std::vector<StreamEngine::MetricsTick> StreamEngine::MetricsHistory() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return {history_.begin(), history_.end()};
+}
+
+std::string StreamEngine::MetricsHistoryJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ticks").BeginArray();
+  for (const MetricsTick& t : MetricsHistory()) {
+    w.BeginObject()
+        .KV("t_ns", t.t_ns)
+        .KV("push_calls", t.push_calls)
+        .KV("tuples_pushed", t.tuples_pushed)
+        .KV("outputs", t.outputs)
+        .EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace rumor

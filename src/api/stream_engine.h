@@ -25,10 +25,16 @@
 #ifndef RUMOR_API_STREAM_ENGINE_H_
 #define RUMOR_API_STREAM_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -140,6 +146,29 @@ class StreamEngine {
   void SetMetricsOptions(const MetricsOptions& options);
   const MetricsOptions& metrics_options() const { return metrics_options_; }
 
+  // --- metrics ticker (time series) ------------------------------------------
+  // One sample of the engine's cheap throughput counters. Counters are
+  // cumulative since Start(); rates are differences between ticks.
+  struct MetricsTick {
+    int64_t t_ns = 0;           // steady-clock sample time
+    int64_t push_calls = 0;     // Push/PushBatch invocations
+    int64_t tuples_pushed = 0;  // source tuples accepted
+    int64_t outputs = 0;        // results delivered to the handler
+  };
+  // Starts a background sampler appending one MetricsTick per `interval`
+  // into a bounded ring (oldest ticks drop past `history_capacity`). The
+  // sampler reads only the engine's published atomic counters — it never
+  // walks the plan, so it cannot race the data plane. Restarting replaces
+  // the previous ticker; the destructor stops it. Counters are zero under
+  // -DRUMOR_METRICS=OFF (the ticker itself still runs).
+  void StartMetricsTicker(std::chrono::milliseconds interval,
+                          size_t history_capacity = 512);
+  void StopMetricsTicker();
+  // Snapshot of the ring, oldest first.
+  std::vector<MetricsTick> MetricsHistory() const;
+  // The ring as a JSON time series: {"ticks": [{t_ns, push_calls, ...}]}.
+  std::string MetricsHistoryJson() const;
+
   // --- testing hooks -----------------------------------------------------------
   // The live share-point index (single-threaded mode; nullptr before Start
   // or when options.use_share_index is off) and the plan it indexes. The
@@ -190,6 +219,22 @@ class StreamEngine {
   std::unique_ptr<ShardedExecutor> sharded_;
   // Source name -> stream id (resolved at Start / refreshed on live adds).
   std::vector<std::pair<std::string, StreamId>> source_ids_;
+
+  // Published throughput counters (relaxed atomics: written by the pushing
+  // thread, read by the ticker). The sink bumps outputs_total_ per routed
+  // result.
+  std::atomic<int64_t> push_calls_{0};
+  std::atomic<int64_t> tuples_pushed_{0};
+  std::atomic<int64_t> outputs_total_{0};
+
+  // Ticker thread + bounded tick ring.
+  std::thread ticker_;
+  std::mutex ticker_mu_;  // guards ticker_stop_ (cv wait)
+  std::condition_variable ticker_cv_;
+  bool ticker_stop_ = false;
+  mutable std::mutex history_mu_;
+  std::deque<MetricsTick> history_;
+  size_t history_cap_ = 512;
 };
 
 }  // namespace rumor

@@ -40,6 +40,10 @@ class FlatInt64Map {
   }
 
   size_t size() const { return size_; }
+  // Heap footprint of the slot array (memory accounting).
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(slots_.size() * sizeof(Slot));
+  }
   void clear() {
     slots_.clear();
     size_ = 0;

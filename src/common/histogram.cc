@@ -1,0 +1,190 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace rumor {
+
+namespace {
+
+// "812ns" / "3.1us" / "42ms" / "1.2s" — compact for report rows.
+void AppendNs(std::string* out, int64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns));
+  } else if (ns < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  out->append(buf);
+}
+
+}  // namespace
+
+LatencyHistogram::~LatencyHistogram() {
+  delete buckets_.load(std::memory_order_acquire);
+}
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogram& other) {
+  Merge(other);
+}
+
+LatencyHistogram& LatencyHistogram::operator=(const LatencyHistogram& other) {
+  if (this == &other) return *this;
+  Clear();
+  Merge(other);
+  return *this;
+}
+
+LatencyHistogram::LatencyHistogram(LatencyHistogram&& other) noexcept {
+  buckets_.store(other.buckets_.exchange(nullptr, std::memory_order_acq_rel),
+                 std::memory_order_release);
+  count_.store(other.count_.exchange(0), std::memory_order_relaxed);
+  sum_.store(other.sum_.exchange(0), std::memory_order_relaxed);
+  min_.store(other.min_.exchange(INT64_MAX), std::memory_order_relaxed);
+  max_.store(other.max_.exchange(0), std::memory_order_relaxed);
+}
+
+LatencyHistogram& LatencyHistogram::operator=(
+    LatencyHistogram&& other) noexcept {
+  if (this == &other) return *this;
+  delete buckets_.exchange(
+      other.buckets_.exchange(nullptr, std::memory_order_acq_rel),
+      std::memory_order_acq_rel);
+  count_.store(other.count_.exchange(0), std::memory_order_relaxed);
+  sum_.store(other.sum_.exchange(0), std::memory_order_relaxed);
+  min_.store(other.min_.exchange(INT64_MAX), std::memory_order_relaxed);
+  max_.store(other.max_.exchange(0), std::memory_order_relaxed);
+  return *this;
+}
+
+int LatencyHistogram::BucketOf(int64_t v) {
+  if (v < 0) v = 0;
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int exp = 63 - std::countl_zero(static_cast<uint64_t>(v));
+  if (exp > kMaxExp) return kNumBuckets - 1;
+  const int sub =
+      static_cast<int>((v >> (exp - kSubBits)) & (kSubBuckets - 1));
+  return kSubBuckets + (exp - kSubBits) * kSubBuckets + sub;
+}
+
+int64_t LatencyHistogram::BucketUpperBound(int b) {
+  if (b < kSubBuckets) return b;
+  const int rel = b - kSubBuckets;
+  const int exp = kSubBits + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  const int64_t step = int64_t{1} << (exp - kSubBits);
+  return (int64_t{1} << exp) + (sub + 1) * step - 1;
+}
+
+LatencyHistogram::Buckets* LatencyHistogram::GetOrCreate() {
+  Buckets* b = buckets_.load(std::memory_order_acquire);
+  if (b != nullptr) return b;
+  Buckets* fresh = new Buckets();
+  for (auto& slot : fresh->b) slot.store(0, std::memory_order_relaxed);
+  if (buckets_.compare_exchange_strong(b, fresh, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;  // another thread won the race
+  return b;
+}
+
+void LatencyHistogram::Record(int64_t v, int64_t n) {
+  if (n <= 0) return;
+  if (v < 0) v = 0;
+  Buckets* b = GetOrCreate();
+  b->b[BucketOf(v)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(v * n, std::memory_order_relaxed);
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count() == 0) return;
+  const Buckets* ob = other.buckets_.load(std::memory_order_acquire);
+  if (ob != nullptr) {
+    Buckets* b = GetOrCreate();
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const int64_t n = ob->b[i].load(std::memory_order_relaxed);
+      if (n != 0) b->b[i].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const int64_t omin = other.min_.load(std::memory_order_relaxed);
+  int64_t cur = min_.load(std::memory_order_relaxed);
+  while (omin < cur &&
+         !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+  }
+  const int64_t omax = other.max();
+  cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur &&
+         !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Clear() {
+  Buckets* b = buckets_.load(std::memory_order_acquire);
+  if (b != nullptr) {
+    for (auto& slot : b->b) slot.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::Percentile(double q) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  const Buckets* b = buckets_.load(std::memory_order_acquire);
+  if (b == nullptr) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(total) + 0.5);
+  if (target < 1) target = 1;
+  if (target > total) target = total;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += b->b[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      const int64_t upper = BucketUpperBound(i);
+      const int64_t mx = max();
+      return upper < mx ? upper : mx;
+    }
+  }
+  return max();
+}
+
+std::string LatencyHistogram::Summary() const {
+  std::string out;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "count=%lld mean=",
+                static_cast<long long>(count()));
+  out.append(buf);
+  AppendNs(&out, static_cast<int64_t>(mean()));
+  out.append(" p50=");
+  AppendNs(&out, p50());
+  out.append(" p90=");
+  AppendNs(&out, p90());
+  out.append(" p99=");
+  AppendNs(&out, p99());
+  out.append(" p999=");
+  AppendNs(&out, p999());
+  out.append(" max=");
+  AppendNs(&out, max());
+  return out;
+}
+
+}  // namespace rumor

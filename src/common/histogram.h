@@ -1,0 +1,101 @@
+// LatencyHistogram — a mergeable HDR-style log-bucketed histogram for
+// non-negative int64 samples (nanoseconds throughout this codebase).
+//
+// Bucketing: values below 2^kSubBits land in exact unit buckets; above
+// that, each power-of-two octave is split into 2^kSubBits linear
+// sub-buckets, so the relative quantization error of any reported
+// percentile is bounded by 2^-kSubBits (6.25% with the default 4 bits).
+// The bucket array is sized for values up to ~2^42 ns (~73 min); larger
+// samples clamp into the top bucket.
+//
+// Recording is wait-free and thread-safe: buckets and the count/sum/min/max
+// scalars are relaxed atomics (recording sites in this engine are *sampled*
+// — one in MetricsOptions::sample_every_n invocations — so the atomic cost
+// never sits on the per-event hot path). Reads (Percentile, Merge, copies)
+// are racy-but-consistent-enough snapshots; callers wanting exact totals
+// quiesce first, as with every other counter in the engine.
+//
+// The bucket array is allocated lazily on the first Record/Merge, so an
+// unused histogram (every MopMetrics embeds one) costs one pointer. The
+// class stays fully functional under -DRUMOR_METRICS=OFF — it is a plain
+// utility like JsonWriter; only the engine's *recording sites* compile out.
+#ifndef RUMOR_COMMON_HISTOGRAM_H_
+#define RUMOR_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rumor {
+
+class LatencyHistogram {
+ public:
+  // 16 sub-buckets per octave => <= 6.25% relative quantization error.
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  // Highest representable exponent; values >= 2^(kMaxExp+1) clamp.
+  static constexpr int kMaxExp = 42;
+  static constexpr int kNumBuckets =
+      kSubBuckets + (kMaxExp - kSubBits + 1) * kSubBuckets;
+
+  LatencyHistogram() = default;
+  ~LatencyHistogram();
+  LatencyHistogram(const LatencyHistogram& other);
+  LatencyHistogram& operator=(const LatencyHistogram& other);
+  LatencyHistogram(LatencyHistogram&& other) noexcept;
+  LatencyHistogram& operator=(LatencyHistogram&& other) noexcept;
+
+  // Records `n` occurrences of `v` (negative values clamp to 0).
+  void Record(int64_t v, int64_t n = 1);
+  // Adds every sample of `other` into this histogram.
+  void Merge(const LatencyHistogram& other);
+  void Clear();
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Smallest / largest recorded sample (0 when empty).
+  int64_t min() const {
+    const int64_t m = min_.load(std::memory_order_relaxed);
+    return m == INT64_MAX ? 0 : m;
+  }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const int64_t c = count();
+    return c > 0 ? static_cast<double>(sum()) / c : 0.0;
+  }
+
+  // Value at quantile `q` in [0, 1] (0.5 = median). Returns the upper bound
+  // of the bucket holding the q-th sample, clamped to max(); 0 when empty.
+  int64_t Percentile(double q) const;
+  int64_t p50() const { return Percentile(0.50); }
+  int64_t p90() const { return Percentile(0.90); }
+  int64_t p99() const { return Percentile(0.99); }
+  int64_t p999() const { return Percentile(0.999); }
+
+  // "count=12 mean=3.1us p50=2.9us p90=5us p99=8us p999=8us max=8.2us".
+  std::string Summary() const;
+
+  // Bucket index of `v` and the (inclusive) upper bound value of bucket `b`
+  // — exposed for the boundary unit tests.
+  static int BucketOf(int64_t v);
+  static int64_t BucketUpperBound(int b);
+
+ private:
+  struct Buckets {
+    std::atomic<int64_t> b[kNumBuckets];
+  };
+
+  // Returns the bucket array, allocating it on first use (thread-safe CAS
+  // publication; the loser frees its copy).
+  Buckets* GetOrCreate();
+
+  std::atomic<Buckets*> buckets_{nullptr};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{0};
+};
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_HISTOGRAM_H_

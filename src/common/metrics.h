@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/histogram.h"
+
 // Defined to 0 by CMake when RUMOR_METRICS=OFF; default is compiled in.
 #ifndef RUMOR_METRICS_ENABLED
 #define RUMOR_METRICS_ENABLED 1
@@ -40,6 +42,9 @@ struct MopMetrics {
   int64_t sampled_evals = 0;   // invocations that were wall-clock timed
   int64_t sampled_tuples = 0;  // tuples covered by the timed invocations
   int64_t eval_ns = 0;         // wall time across the timed invocations
+  // Distribution of per-invocation wall times over the timed sample (the
+  // same measurements eval_ns sums). Unused histograms cost one pointer.
+  LatencyHistogram eval_hist;
 
   // Output selectivity: emitted tuples per delivered tuple. Can exceed 1 for
   // fan-out m-ops (per-member ports, joins).

@@ -1,0 +1,150 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace rumor {
+
+namespace {
+
+// Per-thread span ring. The mutex serializes Record against Clear/Dump from
+// other threads; spans are control-plane-rare, so contention is nil.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Trace::Span> spans;  // ring of capacity kMaxSpansPerThread
+  int next = 0;   // ring write cursor
+  int count = 0;  // live spans (<= kMaxSpansPerThread)
+  int tid = 0;    // small stable id for the trace's tid field
+};
+
+struct Registry {
+  std::mutex mu;
+  // shared_ptr so buffers of exited threads stay dumpable.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: dumps may run at exit
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+// Time origin for the dump's microsecond timestamps: first Enable(true).
+std::atomic<int64_t> g_base_ns{0};
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+int64_t Trace::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Trace::Enable(bool on) {
+  if (on) {
+    int64_t expected = 0;
+    g_base_ns.compare_exchange_strong(expected, NowNs(),
+                                      std::memory_order_relaxed);
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Trace::Record(const char* name, int64_t start_ns, int64_t end_ns) {
+  ThreadBuffer& tb = LocalBuffer();
+  std::lock_guard<std::mutex> lock(tb.mu);
+  if (tb.spans.empty()) tb.spans.resize(kMaxSpansPerThread);
+  tb.spans[tb.next] = Span{name, start_ns, end_ns};
+  tb.next = (tb.next + 1) % kMaxSpansPerThread;
+  if (tb.count < kMaxSpansPerThread) ++tb.count;
+}
+
+void Trace::Clear() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> rlock(reg.mu);
+  for (auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    b->next = 0;
+    b->count = 0;
+  }
+}
+
+int64_t Trace::span_count() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> rlock(reg.mu);
+  int64_t total = 0;
+  for (auto& b : reg.buffers) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    total += b->count;
+  }
+  return total;
+}
+
+std::string Trace::DumpChromeJson() {
+  struct Row {
+    Span span;
+    int tid;
+  };
+  std::vector<Row> rows;
+  {
+    Registry& reg = GetRegistry();
+    std::lock_guard<std::mutex> rlock(reg.mu);
+    for (auto& b : reg.buffers) {
+      std::lock_guard<std::mutex> lock(b->mu);
+      // Oldest-first: the ring's tail starts at `next` once it has wrapped.
+      const int start = b->count < kMaxSpansPerThread ? 0 : b->next;
+      for (int i = 0; i < b->count; ++i) {
+        rows.push_back(
+            Row{b->spans[(start + i) % kMaxSpansPerThread], b->tid});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.span.start_ns < b.span.start_ns;
+  });
+
+  const int64_t base = g_base_ns.load(std::memory_order_relaxed);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  for (const Row& r : rows) {
+    int64_t rel = r.span.start_ns - base;
+    if (rel < 0) rel = 0;
+    int64_t dur = r.span.end_ns - r.span.start_ns;
+    if (dur < 0) dur = 0;
+    w.BeginObject()
+        .KV("name", r.span.name)
+        .KV("ph", "X")
+        .Key("ts")
+        .Double(static_cast<double>(rel) / 1e3, 15)
+        .Key("dur")
+        .Double(static_cast<double>(dur) / 1e3, 15)
+        .KV("pid", 1)
+        .KV("tid", r.tid)
+        .EndObject();
+  }
+  w.EndArray();
+  w.KV("displayTimeUnit", "ns");
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace rumor

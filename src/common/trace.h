@@ -1,0 +1,94 @@
+// Trace — a process-wide span recorder for the control plane, dumped as
+// Chrome trace-event JSON (open in chrome://tracing or ui.perfetto.dev).
+//
+// Spans mark *control-plane* work — Optimize, incremental merge,
+// quiesce-merge-resume, epoch flush — never per-event data-plane work, so
+// recording cost is irrelevant next to the traced operation. When tracing is
+// disabled (the default) RUMOR_TRACE_SPAN costs one relaxed atomic load;
+// under -DRUMOR_METRICS=OFF it compiles out entirely.
+//
+// Each thread records into its own ring buffer (the newest kMaxSpansPerThread
+// spans are kept); buffers are registered globally and survive thread exit,
+// so a dump after sharded workers join still contains their spans.
+//
+//   Trace::Enable(true);
+//   { RUMOR_TRACE_SPAN("Optimize"); ... }
+//   std::string json = Trace::DumpChromeJson();  // write to a .json file
+#ifndef RUMOR_COMMON_TRACE_H_
+#define RUMOR_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace rumor {
+
+class Trace {
+ public:
+  // Newest spans kept per thread; older ones are overwritten.
+  static constexpr int kMaxSpansPerThread = 4096;
+
+  struct Span {
+    const char* name;  // must be a string literal (stored by pointer)
+    int64_t start_ns;
+    int64_t end_ns;
+  };
+
+  static void Enable(bool on);
+  static bool enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  // Drops every recorded span (buffers of exited threads included).
+  static void Clear();
+  // Total spans currently buffered across all threads.
+  static int64_t span_count();
+  // Chrome trace-event JSON: {"traceEvents":[{name, ph:"X", ts, dur, pid,
+  // tid}, ...]} with ts/dur in microseconds relative to the first Enable.
+  static std::string DumpChromeJson();
+
+  // Appends a completed span to the calling thread's ring. Used by
+  // ScopedTraceSpan; callable directly for spans that cannot be scoped.
+  static void Record(const char* name, int64_t start_ns, int64_t end_ns);
+  static int64_t NowNs();
+
+ private:
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: samples the clock only when tracing was enabled at entry.
+class ScopedTraceSpan {
+ public:
+  explicit ScopedTraceSpan(const char* name) {
+    if (Trace::enabled()) {
+      name_ = name;
+      start_ = Trace::NowNs();
+    }
+  }
+  ~ScopedTraceSpan() {
+    if (name_ != nullptr) Trace::Record(name_, start_, Trace::NowNs());
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  int64_t start_ = 0;
+};
+
+#if RUMOR_METRICS_ENABLED
+#define RUMOR_TRACE_CAT2(a, b) a##b
+#define RUMOR_TRACE_CAT(a, b) RUMOR_TRACE_CAT2(a, b)
+// Opens a span covering the rest of the enclosing scope.
+#define RUMOR_TRACE_SPAN(name) \
+  ::rumor::ScopedTraceSpan RUMOR_TRACE_CAT(rumor_trace_span_, __LINE__)(name)
+#else
+#define RUMOR_TRACE_SPAN(name) \
+  do {                         \
+  } while (0)
+#endif
+
+}  // namespace rumor
+
+#endif  // RUMOR_COMMON_TRACE_H_

@@ -4,10 +4,17 @@
 #include <sstream>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 
 namespace rumor {
 
 namespace {
+
+// Heap footprint of one payload block of `width` values.
+constexpr int64_t BlockBytes(uint32_t width) {
+  return static_cast<int64_t>(sizeof(internal::PayloadHeader) +
+                              width * sizeof(Value));
+}
 
 // Thread-exit guard: retires the thread's default arena so pooled blocks are
 // freed deterministically, while blocks still held by longer-lived tuples
@@ -55,6 +62,7 @@ void TupleArena::FreePooled() {
     list.clear();
   }
   pooled_ = 0;
+  bytes_pooled_ = 0;
 }
 
 void TupleArena::Retire() {
@@ -88,10 +96,12 @@ internal::PayloadHeader* TupleArena::Allocate(uint32_t width) {
 #endif
   ++outstanding_;
   ++requests_;
+  RUMOR_METRIC(bytes_outstanding_ += BlockBytes(width));
   if (width < free_.size() && !free_[width].empty()) {
     internal::PayloadHeader* block = free_[width].back();
     free_[width].pop_back();
     --pooled_;
+    RUMOR_METRIC(bytes_pooled_ -= BlockBytes(width));
     block->refs = 1;
     return block;
   }
@@ -104,6 +114,7 @@ void TupleArena::Release(internal::PayloadHeader* block) {
   CheckThread();
 #endif
   --outstanding_;
+  RUMOR_METRIC(bytes_outstanding_ -= BlockBytes(block->size));
   if (retired_) {
     DeleteBlock(block);
     if (outstanding_ == 0) delete this;
@@ -121,6 +132,7 @@ void TupleArena::Release(internal::PayloadHeader* block) {
   }
   free_[width].push_back(block);
   ++pooled_;
+  RUMOR_METRIC(bytes_pooled_ += BlockBytes(width));
 }
 
 Tuple Tuple::MakeInts(const std::vector<int64_t>& ints, Timestamp ts) {

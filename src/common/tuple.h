@@ -89,6 +89,10 @@ class TupleArena {
   double recycle_hit_rate() const {
     return requests_ > 0 ? static_cast<double>(recycled()) / requests_ : 0.0;
   }
+  // Payload bytes (header + values) in blocks handed out and not yet
+  // released / parked on the freelists. Zero under -DRUMOR_METRICS=OFF.
+  int64_t bytes_outstanding() const { return bytes_outstanding_; }
+  int64_t bytes_pooled() const { return bytes_pooled_; }
 
  private:
   friend class TupleArenaExitGuard;
@@ -110,6 +114,8 @@ class TupleArena {
   int64_t pooled_ = 0;
   int64_t allocations_ = 0;
   int64_t requests_ = 0;
+  int64_t bytes_outstanding_ = 0;
+  int64_t bytes_pooled_ = 0;
   bool retired_ = false;
 #ifndef NDEBUG
   // Guards the single-threaded contract: allocate/release off the owning

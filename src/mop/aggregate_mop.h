@@ -70,6 +70,14 @@ class AggregateMop : public Mop {
   // per-member logs).
   size_t log_size() const;
 
+  int64_t StateBytes() const override {
+    int64_t b = 0;
+    for (const auto& engine : engines_) {
+      if (engine != nullptr) b += engine->ApproxBytes();
+    }
+    return b;
+  }
+
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
   // Batched path: type-erases the emission closure once per batch instead

@@ -72,6 +72,16 @@ class JoinMop : public Mop {
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
 
+  int64_t StateBytes() const override {
+    int64_t b = 0;
+    for (const auto& state : states_) {
+      if (state == nullptr) continue;
+      b += state->left.buffer.ApproxBytes() +
+           state->right.buffer.ApproxBytes();
+    }
+    return b;
+  }
+
  private:
   struct StoredTuple {
     Tuple tuple;

@@ -95,6 +95,13 @@ class Mop {
   // Short display name, e.g. "σ{1,2}" or "µ[3]".
   virtual std::string name() const;
 
+  // Approximate heap bytes of this m-op's *operator state* — buffered window
+  // tuples, join/sequence partial matches, aggregation groups, predicate
+  // index tables. Stateless m-ops report 0 (the default). Estimates count
+  // container footprints (tuple *payload* blocks are accounted by the
+  // TupleArena); they are for memory budgeting, not exact accounting.
+  virtual int64_t StateBytes() const { return 0; }
+
   // --- lightweight metrics --------------------------------------------------
   // Tuple/batch counters are maintained by the executor (in) and the m-op
   // implementations (out); timing is sampled by the executor. Everything

@@ -66,6 +66,23 @@ class PredicateIndexMop : public Mop {
   void ProcessBatch(int input_port, const ChannelTuple* tuples, size_t n,
                     Emitter& out) override;
 
+  int64_t StateBytes() const override {
+    constexpr int64_t kNodeOverhead = 48;  // unordered_map node estimate
+    int64_t b = 0;
+    for (const auto& index : indexes_) {
+      for (const auto& [key, bucket] : index.by_constant) {
+        b += kNodeOverhead + static_cast<int64_t>(sizeof(key)) +
+             static_cast<int64_t>(bucket.capacity() * sizeof(IndexedMember));
+      }
+      b += index.flat.ApproxBytes();
+      b += static_cast<int64_t>(index.buckets.capacity() *
+                                sizeof(index.buckets[0]));
+    }
+    b += static_cast<int64_t>(sequential_.capacity() *
+                              sizeof(SequentialMember));
+    return b;
+  }
+
  private:
   // Routes member `i` into the hash indexes or the sequential list.
   void IndexMember(int i);

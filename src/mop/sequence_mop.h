@@ -74,6 +74,14 @@ class SequenceMop : public Mop {
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
 
+  int64_t StateBytes() const override {
+    int64_t b = 0;
+    for (const auto& store : stores_) {
+      if (store != nullptr) b += store->ApproxBytes();
+    }
+    return b;
+  }
+
  private:
   struct Instance {
     Tuple start;

@@ -223,4 +223,23 @@ int SharedAggEngine::ReuseMember(int member, const AggMemberSpec& spec) {
   return Backfill(member);
 }
 
+int64_t SharedAggEngine::ApproxBytes() const {
+  // Hash/tree node bookkeeping estimate (pointers, hash, allocator rounding).
+  constexpr int64_t kNodeOverhead = 48;
+  int64_t b = static_cast<int64_t>(entries_.size()) * sizeof(Entry);
+  for (const MemberState& state : states_) {
+    for (const auto& [key, group] : state.groups) {
+      b += kNodeOverhead + static_cast<int64_t>(sizeof(key)) +
+           static_cast<int64_t>(key.values.capacity() * sizeof(Value)) +
+           static_cast<int64_t>(sizeof(group));
+      // Two-stacks items live in two vectors; multiset values in tree nodes.
+      b += static_cast<int64_t>(group.extrema.size()) * 2 *
+           static_cast<int64_t>(sizeof(Value));
+      b += static_cast<int64_t>(group.ordered.size()) *
+           (static_cast<int64_t>(sizeof(Value)) + kNodeOverhead);
+    }
+  }
+  return b;
+}
+
 }  // namespace rumor

@@ -130,7 +130,22 @@ class KeyedBuffer {
   size_t live_size() const { return static_cast<size_t>(live_); }
   bool indexed() const { return indexed_; }
 
+  // Approximate heap bytes of the retained slots and the hash index (tuple
+  // payload blocks of stored items are accounted by the TupleArena).
+  int64_t ApproxBytes() const {
+    int64_t b = static_cast<int64_t>(slots_.size()) * sizeof(Slot);
+    for (const auto& [key, bucket] : index_) {
+      b += static_cast<int64_t>(sizeof(key)) + kNodeOverhead +
+           static_cast<int64_t>(bucket.capacity()) * sizeof(int64_t);
+    }
+    return b;
+  }
+
  private:
+  // Assumed per-node bookkeeping of a hash-map entry (bucket pointer, hash,
+  // allocator rounding) for the ApproxBytes estimate.
+  static constexpr int64_t kNodeOverhead = 48;
+
   bool indexed_;
   std::deque<Slot> slots_;
   int64_t base_ = 0;
@@ -247,6 +262,9 @@ class SharedAggEngine {
   size_t group_count(int member) const {
     return states_[member].groups.size();
   }
+  // Approximate heap bytes of the shared log and every member's group
+  // states (MIN/MAX stacks and ordered sets included).
+  int64_t ApproxBytes() const;
 
   // --- dynamic membership (online query churn) -------------------------------
   // Adds a member sharing this engine's fn/attr (group-by and window may

@@ -22,6 +22,8 @@ DataPlaneCounters DataPlaneCounters::Capture() {
   c.arena_heap_allocations = arena->allocations();
   c.arena_pooled = arena->pooled();
   c.arena_outstanding = arena->outstanding();
+  c.arena_bytes_outstanding = arena->bytes_outstanding();
+  c.arena_bytes_pooled = arena->bytes_pooled();
   return c;
 }
 
@@ -34,6 +36,8 @@ DataPlaneCounters& DataPlaneCounters::operator+=(const DataPlaneCounters& o) {
   arena_heap_allocations += o.arena_heap_allocations;
   arena_pooled += o.arena_pooled;
   arena_outstanding += o.arena_outstanding;
+  arena_bytes_outstanding += o.arena_bytes_outstanding;
+  arena_bytes_pooled += o.arena_bytes_pooled;
   return *this;
 }
 
@@ -48,6 +52,10 @@ void AccumulateShardPlan(EngineMetrics* em, const Plan& shard_plan) {
     row.m.sampled_evals += m.sampled_evals;
     row.m.sampled_tuples += m.sampled_tuples;
     row.m.eval_ns += m.eval_ns;
+    row.m.eval_hist.Merge(m.eval_hist);
+    const int64_t state = mop.StateBytes();
+    row.state_bytes += state;
+    em->mop_state_bytes += state;
     if (mop.type() == MopType::kPredicateIndex) {
       const auto& index = static_cast<const PredicateIndexMop&>(mop);
       em->flat_probes += index.flat_probes();
@@ -65,6 +73,8 @@ void SetDataPlaneCounters(EngineMetrics* em, const DataPlaneCounters& t) {
   em->arena_heap_allocations = t.arena_heap_allocations;
   em->arena_pooled = t.arena_pooled;
   em->arena_outstanding = t.arena_outstanding;
+  em->arena_bytes_outstanding = t.arena_bytes_outstanding;
+  em->arena_bytes_pooled = t.arena_bytes_pooled;
 }
 
 EngineMetrics CollectEngineMetrics(const Plan& plan,
@@ -91,7 +101,9 @@ EngineMetrics CollectEngineMetrics(const Plan& plan,
     row.type = MopTypeName(mop.type());
     row.members = mop.num_members();
     row.query_refs = refs[id];
+    row.state_bytes = mop.StateBytes();
     row.m = mop.metrics();
+    em.mop_state_bytes += row.state_bytes;
     em.mops.push_back(std::move(row));
 
     ++em.live_mops;
@@ -152,6 +164,27 @@ std::string EngineMetrics::ToString() const {
                 arena_recycle_hit_rate(), static_cast<long long>(arena_pooled),
                 static_cast<long long>(arena_outstanding));
   os << buf << "\n";
+  if (latency.count() > 0) {
+    os << "latency (ingress->sink, sampled): " << latency.Summary() << "\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "memory: arena_bytes=%lld (pooled=%lld) mop_state_bytes=%lld",
+                static_cast<long long>(arena_bytes_outstanding),
+                static_cast<long long>(arena_bytes_pooled),
+                static_cast<long long>(mop_state_bytes));
+  os << buf << "\n";
+  if (share_index.present) {
+    std::snprintf(buf, sizeof(buf),
+                  "  share index: exact=%lld member=%lld index_targets=%lld "
+                  "sel_singles=%lld agg_targets=%lld bytes=%lld",
+                  static_cast<long long>(share_index.exact_entries),
+                  static_cast<long long>(share_index.member_entries),
+                  static_cast<long long>(share_index.index_target_entries),
+                  static_cast<long long>(share_index.sel_single_entries),
+                  static_cast<long long>(share_index.agg_target_entries),
+                  static_cast<long long>(share_index.approx_bytes));
+    os << buf << "\n";
+  }
   if (shards > 1) {
     os << "sharded over " << shards << " workers:\n";
     for (const ShardRow& s : shard_rows) {
@@ -163,6 +196,16 @@ std::string EngineMetrics::ToString() const {
                                            s.counters.program_typed +
                                            s.counters.program_generic),
                     static_cast<long long>(s.counters.arena_requests));
+      os << buf << "\n";
+      std::snprintf(
+          buf, sizeof(buf),
+          "            in_hwm=%llu out_hwm=%llu push_stall_ns=%lld "
+          "worker_stall_ns=%lld merge_lag_hwm=%llu",
+          static_cast<unsigned long long>(s.in_depth_hwm),
+          static_cast<unsigned long long>(s.out_depth_hwm),
+          static_cast<long long>(s.push_stall_ns),
+          static_cast<long long>(s.worker_stall_ns),
+          static_cast<unsigned long long>(s.merge_lag_hwm));
       os << buf << "\n";
     }
   }
@@ -178,6 +221,16 @@ std::string EngineMetrics::ToString() const {
     os << buf;
     if (row.m.sampled_tuples > 0) {
       std::snprintf(buf, sizeof(buf), " ns/tuple=%.1f", row.m.ns_per_tuple());
+      os << buf;
+    }
+    if (row.m.eval_hist.count() > 0) {
+      std::snprintf(buf, sizeof(buf), " eval_p99=%lld",
+                    static_cast<long long>(row.m.eval_hist.p99()));
+      os << buf;
+    }
+    if (row.state_bytes > 0) {
+      std::snprintf(buf, sizeof(buf), " state_bytes=%lld",
+                    static_cast<long long>(row.state_bytes));
       os << buf;
     }
     os << "\n";
@@ -244,6 +297,34 @@ std::string EngineMetrics::ToJson() const {
       .KV("outstanding", arena_outstanding)
       .EndObject()
       .EndObject();
+  w.Key("latency")
+      .BeginObject()
+      .KV("count", latency.count())
+      .KV("mean_ns", latency.mean())
+      .KV("min_ns", latency.min())
+      .KV("p50_ns", latency.p50())
+      .KV("p90_ns", latency.p90())
+      .KV("p99_ns", latency.p99())
+      .KV("p999_ns", latency.p999())
+      .KV("max_ns", latency.max())
+      .EndObject();
+  w.Key("memory")
+      .BeginObject()
+      .KV("arena_bytes_outstanding", arena_bytes_outstanding)
+      .KV("arena_bytes_pooled", arena_bytes_pooled)
+      .KV("mop_state_bytes", mop_state_bytes)
+      .Key("share_index")
+      .BeginObject()
+      .KV("present", share_index.present)
+      .KV("exact_entries", share_index.exact_entries)
+      .KV("member_entries", share_index.member_entries)
+      .KV("index_target_entries", share_index.index_target_entries)
+      .KV("sel_single_entries", share_index.sel_single_entries)
+      .KV("agg_target_entries", share_index.agg_target_entries)
+      .KV("posting_entries", share_index.posting_entries)
+      .KV("approx_bytes", share_index.approx_bytes)
+      .EndObject()
+      .EndObject();
   w.Key("shard_rows").BeginArray();
   for (const ShardRow& s : shard_rows) {
     w.BeginObject()
@@ -257,6 +338,13 @@ std::string EngineMetrics::ToJson() const {
         .KV("arena_heap_allocations", s.counters.arena_heap_allocations)
         .KV("arena_pooled", s.counters.arena_pooled)
         .KV("arena_outstanding", s.counters.arena_outstanding)
+        .KV("arena_bytes_outstanding", s.counters.arena_bytes_outstanding)
+        .KV("arena_bytes_pooled", s.counters.arena_bytes_pooled)
+        .KV("in_depth_hwm", static_cast<int64_t>(s.in_depth_hwm))
+        .KV("out_depth_hwm", static_cast<int64_t>(s.out_depth_hwm))
+        .KV("push_stall_ns", s.push_stall_ns)
+        .KV("worker_stall_ns", s.worker_stall_ns)
+        .KV("merge_lag_hwm", static_cast<int64_t>(s.merge_lag_hwm))
         .EndObject();
   }
   w.EndArray();
@@ -276,6 +364,9 @@ std::string EngineMetrics::ToJson() const {
         .KV("sampled_tuples", row.m.sampled_tuples)
         .KV("eval_ns", row.m.eval_ns)
         .KV("ns_per_tuple", row.m.ns_per_tuple())
+        .KV("eval_p50_ns", row.m.eval_hist.p50())
+        .KV("eval_p99_ns", row.m.eval_hist.p99())
+        .KV("state_bytes", row.state_bytes)
         .EndObject();
   }
   w.EndArray();

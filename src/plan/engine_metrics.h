@@ -34,6 +34,8 @@ struct DataPlaneCounters {
   int64_t arena_heap_allocations = 0;
   int64_t arena_pooled = 0;
   int64_t arena_outstanding = 0;
+  int64_t arena_bytes_outstanding = 0;
+  int64_t arena_bytes_pooled = 0;
 
   // Counters of the calling thread.
   static DataPlaneCounters Capture();
@@ -65,6 +67,7 @@ struct EngineMetrics {
     const char* type = "";
     int members = 0;
     int query_refs = 0;  // queries whose output depends on this m-op
+    int64_t state_bytes = 0;  // Mop::StateBytes (summed across shards)
     MopMetrics m;
   };
   std::vector<MopRow> mops;
@@ -76,14 +79,45 @@ struct EngineMetrics {
   };
   std::vector<QueryRow> query_rows;
 
+  // --- end-to-end latency ---------------------------------------------------
+  // Sampled ingress->sink latency distribution: single-threaded runs record
+  // push-call to output-delivery inside the executor; sharded ordered runs
+  // record push-call to ordered-merge delivery on the control thread. Empty
+  // under -DRUMOR_METRICS=OFF or when nothing was sampled yet.
+  LatencyHistogram latency;
+
   // --- sharded execution (filled when the engine runs >1 shard) ------------
   int shards = 1;
   struct ShardRow {
     int shard = 0;
     int64_t deliveries = 0;  // that shard executor's scheduling work
     DataPlaneCounters counters;
+    // Backpressure gauges (zero under -DRUMOR_METRICS=OFF).
+    uint64_t in_depth_hwm = 0;    // input-ring occupancy high-watermark
+    uint64_t out_depth_hwm = 0;   // output-ring occupancy high-watermark
+    int64_t push_stall_ns = 0;    // control thread stalled acquiring shells
+    int64_t worker_stall_ns = 0;  // worker parked waiting for the merge
+    uint64_t merge_lag_hwm = 0;   // max epochs completed ahead of the merge
   };
   std::vector<ShardRow> shard_rows;
+
+  // --- memory ---------------------------------------------------------------
+  // Byte gauges (zero under -DRUMOR_METRICS=OFF except share_index, which is
+  // a container-walk estimate and always available).
+  int64_t arena_bytes_outstanding = 0;  // live tuple payload blocks
+  int64_t arena_bytes_pooled = 0;       // recycled blocks held for reuse
+  int64_t mop_state_bytes = 0;          // sum of MopRow::state_bytes
+  struct ShareIndexStats {
+    bool present = false;  // engine keeps a ShareIndex (indexed merge path)
+    int64_t exact_entries = 0;
+    int64_t member_entries = 0;
+    int64_t index_target_entries = 0;
+    int64_t sel_single_entries = 0;
+    int64_t agg_target_entries = 0;
+    int64_t posting_entries = 0;
+    int64_t approx_bytes = 0;
+  };
+  ShareIndexStats share_index;
 
   // --- fast-path efficacy ---------------------------------------------------
   // Predicate evaluation on this thread (fused/typed vs generic).

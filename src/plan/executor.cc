@@ -269,10 +269,29 @@ bool Executor::BatchSafe(ChannelId channel) {
   return safe;
 }
 
+// Stamps the ingress clock for every sample_every_n-th top-level push; while
+// the stamp is live, DeliverOutputs records end-to-end latency per output.
+// Re-entrant pushes (sink handlers mid-drain/mid-batch) never stamp, so the
+// outer push's stamp survives; their deferred tuples are measured against
+// the outer ingress, which is when they actually entered the engine.
+bool Executor::MaybeStampIngress() {
+#if RUMOR_METRICS_ENABLED
+  if (busy() || metrics_options_.sample_every_n <= 0) return false;
+  if (--latency_countdown_ > 0) return false;
+  latency_countdown_ = metrics_options_.sample_every_n;
+  ingress_t0_ = MonotonicNs();
+  return true;
+#else
+  return false;
+#endif
+}
+
 void Executor::PushChannel(ChannelId channel, const ChannelTuple& tuple) {
   RUMOR_DCHECK(prepared_) << "call Prepare() first";
   RUMOR_DCHECK(channel >= 0 && channel < plan_->num_channels());
+  const bool stamped = MaybeStampIngress();
   Dispatch(channel, tuple);
+  if (stamped) ingress_t0_ = -1;
 }
 
 void Executor::PushSource(StreamId stream, const Tuple& tuple) {
@@ -280,7 +299,9 @@ void Executor::PushSource(StreamId stream, const Tuple& tuple) {
   ChannelId channel = source_route_[stream];
   RUMOR_CHECK(channel != kInvalidChannel)
       << "stream " << stream << " is not a wired source";
+  const bool stamped = MaybeStampIngress();
   Dispatch(channel, ChannelTuple{tuple, BitVector::Singleton(0, 1)});
+  if (stamped) ingress_t0_ = -1;
 }
 
 void Executor::PushSourceBatch(StreamId stream,
@@ -297,12 +318,14 @@ void Executor::PushSourceBatch(StreamId stream,
     for (const Tuple& t : tuples) PushSource(stream, t);
     return;
   }
+  const bool stamped = MaybeStampIngress();
   std::vector<ChannelTuple>& root = channel_buffers_[channel];
   root.reserve(tuples.size());
   for (const Tuple& t : tuples) {
     root.push_back(ChannelTuple{t, BitVector::Singleton(0, 1)});
   }
   RunBatch(channel);
+  if (stamped) ingress_t0_ = -1;
 }
 
 void Executor::PushChannelBatch(ChannelId channel,
@@ -315,13 +338,32 @@ void Executor::PushChannelBatch(ChannelId channel,
     for (const ChannelTuple& t : tuples) PushChannel(channel, t);
     return;
   }
+  const bool stamped = MaybeStampIngress();
   std::vector<ChannelTuple>& root = channel_buffers_[channel];
   root.assign(tuples.begin(), tuples.end());
   RunBatch(channel);
+  if (stamped) ingress_t0_ = -1;
 }
 
 void Executor::DeliverOutputs(const Route& route, const ChannelTuple& tuple) {
   if (sink_ == nullptr) return;
+#if RUMOR_METRICS_ENABLED
+  if (ingress_t0_ >= 0) {
+    // A latency-sampled push is in flight: count what this call delivers
+    // and record one latency sample per output (one clock read per call).
+    int64_t delivered = 0;
+    for (const auto& [slot, stream] : route.output_slots) {
+      if (tuple.membership.Test(slot)) {
+        sink_->OnOutput(stream, tuple.tuple);
+        ++delivered;
+      }
+    }
+    if (delivered > 0) {
+      output_latency_.Record(MonotonicNs() - ingress_t0_, delivered);
+    }
+    return;
+  }
+#endif
   for (const auto& [slot, stream] : route.output_slots) {
     if (tuple.membership.Test(slot)) sink_->OnOutput(stream, tuple.tuple);
   }
@@ -376,8 +418,10 @@ void Executor::Drain() {
         metrics_countdown_ = metrics_options_.sample_every_n;
         const int64_t t0 = MonotonicNs();
         mop.Process(task.end.port, task.tuple, emitter);
+        const int64_t dt = MonotonicNs() - t0;
         MopMetrics& m = mop.mutable_metrics();
-        m.eval_ns += MonotonicNs() - t0;
+        m.eval_ns += dt;
+        m.eval_hist.Record(dt);
         ++m.sampled_evals;
         ++m.sampled_tuples;
       } else {
@@ -422,8 +466,10 @@ void Executor::RunBatch(ChannelId root) {
         metrics_countdown_ = metrics_options_.sample_every_n;
         const int64_t t0 = MonotonicNs();
         mop.ProcessBatch(end.port, buffer.data(), buffer.size(), emitter);
+        const int64_t dt = MonotonicNs() - t0;
         MopMetrics& m = mop.mutable_metrics();
-        m.eval_ns += MonotonicNs() - t0;
+        m.eval_ns += dt;
+        m.eval_hist.Record(dt);
         ++m.sampled_evals;
         m.sampled_tuples += n;
       } else {

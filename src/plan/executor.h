@@ -153,8 +153,16 @@ class Executor {
   void SetMetricsOptions(const MetricsOptions& options) {
     metrics_options_ = options;
     metrics_countdown_ = options.sample_every_n;
+    latency_countdown_ = options.sample_every_n;
   }
   const MetricsOptions& metrics_options() const { return metrics_options_; }
+
+  // End-to-end ingress→sink latency distribution: every sample_every_n-th
+  // push call stamps the clock at entry, and each query output it produces
+  // records (now - stamp). Covers the full propagation through the merged
+  // plan, both per-tuple and batched. Empty when metrics are compiled out.
+  const LatencyHistogram& output_latency() const { return output_latency_; }
+  LatencyHistogram* mutable_output_latency() { return &output_latency_; }
 
  private:
   struct Route {
@@ -223,6 +231,14 @@ class Executor {
   // MopMetrics; the only per-invocation cost is one countdown decrement.
   MetricsOptions metrics_options_;
   int metrics_countdown_ = MetricsOptions{}.sample_every_n;
+
+  // Sampled ingress→sink latency: stamps every sample_every_n-th top-level
+  // push (re-entrant pushes never stamp — the outer stamp stays valid).
+  // While ingress_t0_ >= 0, DeliverOutputs records into output_latency_.
+  bool MaybeStampIngress();
+  LatencyHistogram output_latency_;
+  int64_t ingress_t0_ = -1;
+  int latency_countdown_ = MetricsOptions{}.sample_every_n;
 
   // Event-at-a-time work stack (member, so buffers are reused across
   // pushes). `draining_` guards against re-entrant drains.

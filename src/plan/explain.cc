@@ -90,6 +90,14 @@ std::string ExplainAnalyze(const Plan& plan,
                     static_cast<long long>(m.sampled_tuples));
       os << buf;
     }
+    if (options.include_timing && m.eval_hist.count() > 0) {
+      std::snprintf(buf, sizeof(buf), " eval p50=%lldns p99=%lldns",
+                    static_cast<long long>(m.eval_hist.p50()),
+                    static_cast<long long>(m.eval_hist.p99()));
+      os << buf;
+    }
+    const int64_t state = mop.StateBytes();
+    if (state > 0) os << " state≈" << state << "B";
     os << "\n";
   }
   if (options.include_outputs) {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <thread>
 
+#include "common/trace.h"
 #include "common/tuple.h"
 #include "plan/spsc_queue.h"
 
@@ -15,6 +16,14 @@ namespace {
 // Ordered-mode output blocks are flushed to the merge at this many entries,
 // bounding both block latency and the size of a decoded burst.
 constexpr size_t kMaxBlockEntries = 256;
+
+#if RUMOR_METRICS_ENABLED
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+#endif
 }  // namespace
 
 // One routed batch travelling control -> worker. Data batches carry a run of
@@ -97,6 +106,8 @@ struct ShardedExecutor::Shard {
   InBatch* staging = nullptr;        // batch being filled for this shard
   std::vector<InBatch*> stash;       // local free shells
   std::deque<OutBlock*> pending;     // popped blocks not yet merge-ready
+  int64_t in_stall_ns = 0;           // time spent in AcquireShell's slow loop
+  uint64_t merge_lag_hwm = 0;        // max epochs completed ahead of merge
 
   std::thread thread;
 };
@@ -286,6 +297,10 @@ ShardedExecutor::InBatch* ShardedExecutor::AcquireShell(Shard& sh) {
     return b;
   }
   InBatch* b = nullptr;
+  if (sh.in_free.TryPop(&b)) return b;
+#if RUMOR_METRICS_ENABLED
+  const int64_t t0 = MonotonicNs();
+#endif
   while (!sh.in_free.TryPop(&b)) {
     if (merge_sink_ != nullptr) {
       // The worker may itself be waiting for the ordered merge to recycle
@@ -296,6 +311,9 @@ ShardedExecutor::InBatch* ShardedExecutor::AcquireShell(Shard& sh) {
       sh.in_free.WaitNotEmpty();
     }
   }
+#if RUMOR_METRICS_ENABLED
+  sh.in_stall_ns += MonotonicNs() - t0;
+#endif
   return b;
 }
 
@@ -317,6 +335,16 @@ void ShardedExecutor::PushSourceBatch(StreamId stream,
   if (static_cast<size_t>(stream) >= rr_.size()) rr_.resize(stream + 1, 0);
 
   const uint64_t epoch = next_epoch_++;
+#if RUMOR_METRICS_ENABLED
+  // Stamp every Nth epoch; the ordered merge records the latency when its
+  // cursor passes the stamped epoch (lanes mode has no merge to finish, so
+  // no stamp).
+  if (merge_sink_ != nullptr && options_.metrics.sample_every_n > 0 &&
+      --latency_countdown_ <= 0) {
+    latency_countdown_ = options_.metrics.sample_every_n;
+    pending_latency_.emplace_back(epoch, MonotonicNs());
+  }
+#endif
   const int n = options_.num_shards;
   for (const Tuple& t : tuples) {
     const int s = ShardOfTuple(route, t.values(), &rr_[stream], n);
@@ -352,8 +380,16 @@ void ShardedExecutor::DrainDeliveries() {
     // Observe completion BEFORE popping: `completed` is release-stored after
     // the epoch's last out-push, so seeing it done guarantees the pops below
     // see every block of the epoch.
-    const bool done = sh.completed.load(std::memory_order_acquire) >=
-                      std::min(e, sh.last_sent);
+    const uint64_t completed = sh.completed.load(std::memory_order_acquire);
+#if RUMOR_METRICS_ENABLED
+    // Merge lag: epochs this shard finished that the ordered merge has not
+    // delivered yet (the merge is the bottleneck when this grows).
+    if (completed >= next_deliver_epoch_) {
+      const uint64_t lag = completed - (next_deliver_epoch_ - 1);
+      if (lag > sh.merge_lag_hwm) sh.merge_lag_hwm = lag;
+    }
+#endif
+    const bool done = completed >= std::min(e, sh.last_sent);
     OutBlock* popped = nullptr;
     while (sh.out.TryPop(&popped)) sh.pending.push_back(popped);
     // Deliver everything merge-ready — including blocks of a still-running
@@ -370,6 +406,13 @@ void ShardedExecutor::DrainDeliveries() {
     if (++deliver_shard_ == options_.num_shards) {
       deliver_shard_ = 0;
       ++next_deliver_epoch_;
+#if RUMOR_METRICS_ENABLED
+      while (!pending_latency_.empty() &&
+             pending_latency_.front().first < next_deliver_epoch_) {
+        merge_latency_.Record(MonotonicNs() - pending_latency_.front().second);
+        pending_latency_.pop_front();
+      }
+#endif
     }
   }
 }
@@ -390,6 +433,7 @@ void ShardedExecutor::DeliverBlock(const OutBlock& block) {
 
 void ShardedExecutor::Flush() {
   if (!prepared_ || stopped_ || shards_.empty()) return;
+  RUMOR_TRACE_SPAN("ShardedExecutor::Flush");
   if (merge_sink_ != nullptr) {
     int idle_passes = 0;
     while (next_deliver_epoch_ < next_epoch_) {
@@ -422,6 +466,7 @@ void ShardedExecutor::Flush() {
 }
 
 Status ShardedExecutor::MutateShards(const ShardCommand& fn) {
+  RUMOR_TRACE_SPAN("ShardedExecutor::MutateShards");
   RUMOR_CHECK(prepared_ && !stopped_);
   RUMOR_CHECK(!delivering_) << "cannot mutate the plan from an output handler";
   Flush();
@@ -487,8 +532,14 @@ std::vector<EngineMetrics::ShardRow> ShardedExecutor::ShardRows() {
   std::vector<EngineMetrics::ShardRow> rows;
   rows.reserve(shards_.size());
   for (int s = 0; s < options_.num_shards; ++s) {
-    rows.push_back(EngineMetrics::ShardRow{s, shards_[s]->deliveries,
-                                           shards_[s]->counters});
+    Shard& sh = *shards_[s];
+    EngineMetrics::ShardRow row{s, sh.deliveries, sh.counters};
+    row.in_depth_hwm = sh.in.depth_hwm();
+    row.out_depth_hwm = sh.out.depth_hwm();
+    row.push_stall_ns = sh.in_stall_ns;
+    row.worker_stall_ns = sh.out_free.consumer_wait_ns();
+    row.merge_lag_hwm = sh.merge_lag_hwm;
+    rows.push_back(row);
   }
   return rows;
 }

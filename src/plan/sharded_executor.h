@@ -42,10 +42,13 @@
 #ifndef RUMOR_PLAN_SHARDED_EXECUTOR_H_
 #define RUMOR_PLAN_SHARDED_EXECUTOR_H_
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -218,6 +221,11 @@ class ShardedExecutor {
   // Per-shard metric rows (flushes first).
   std::vector<EngineMetrics::ShardRow> ShardRows();
 
+  // Sampled end-to-end latency of ordered-mode epochs: PushSource[Batch]
+  // call to the ordered merge finishing that epoch's delivery. Empty in
+  // lanes mode and under -DRUMOR_METRICS=OFF.
+  const LatencyHistogram& merge_latency() const { return merge_latency_; }
+
  private:
   struct InBatch;
   struct OutBlock;
@@ -251,6 +259,12 @@ class ShardedExecutor {
   bool prepared_ = false;
   bool stopped_ = false;
   bool delivering_ = false;
+
+  // Ordered-mode latency sampling (control-thread-only): epochs stamped at
+  // push time, recorded when the merge cursor passes them.
+  LatencyHistogram merge_latency_;
+  std::deque<std::pair<uint64_t, int64_t>> pending_latency_;  // (epoch, t0)
+  int latency_countdown_ = 1;  // sample the first epoch, then every Nth
 };
 
 }  // namespace rumor

@@ -20,11 +20,13 @@
 #define RUMOR_PLAN_SPSC_QUEUE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace rumor {
 
@@ -53,6 +55,14 @@ class SpscQueue {
       if (ti - head_cache_ > mask_) return false;
     }
     slots_[ti & mask_] = std::move(v);
+#if RUMOR_METRICS_ENABLED
+    // Depth relative to the cached head — an upper bound on the true depth
+    // (the cache only lags), never above capacity.
+    const uint64_t depth = ti - head_cache_ + 1;
+    if (depth > depth_hwm_.load(std::memory_order_relaxed)) {
+      depth_hwm_.store(depth, std::memory_order_relaxed);
+    }
+#endif
     tail_.v.store(t + 1, std::memory_order_release);
     tail_.v.notify_one();
     return true;
@@ -77,7 +87,17 @@ class SpscQueue {
     const uint64_t t = tail_.v.load(std::memory_order_acquire);
     if ((t & kClosedBit) != 0) return;
     if ((t & kIndexMask) != head_.v.load(std::memory_order_relaxed)) return;
+#if RUMOR_METRICS_ENABLED
+    const auto t0 = std::chrono::steady_clock::now();
     tail_.v.wait(t, std::memory_order_acquire);
+    consumer_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
+#else
+    tail_.v.wait(t, std::memory_order_acquire);
+#endif
   }
 
   // Producer: parks until the consumer pops. May return spuriously; callers
@@ -86,7 +106,17 @@ class SpscQueue {
     const uint64_t h = head_.v.load(std::memory_order_acquire);
     const uint64_t ti = tail_.v.load(std::memory_order_relaxed) & kIndexMask;
     if (ti - h <= mask_) return;
+#if RUMOR_METRICS_ENABLED
+    const auto t0 = std::chrono::steady_clock::now();
     head_.v.wait(h, std::memory_order_acquire);
+    producer_wait_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count(),
+        std::memory_order_relaxed);
+#else
+    head_.v.wait(h, std::memory_order_acquire);
+#endif
   }
 
   // Producer only: marks the queue closed and wakes a parked consumer. Items
@@ -104,6 +134,21 @@ class SpscQueue {
     const uint64_t t = tail_.v.load(std::memory_order_acquire) & kIndexMask;
     const uint64_t h = head_.v.load(std::memory_order_acquire);
     return static_cast<size_t>(t - h);
+  }
+
+  // --- backpressure gauges (zero under -DRUMOR_METRICS=OFF) -----------------
+  // Highest occupancy ever observed at push time; relaxed atomics so either
+  // thread may read without racing the owner's updates.
+  uint64_t depth_hwm() const {
+    return depth_hwm_.load(std::memory_order_relaxed);
+  }
+  // Total ns the producer spent parked in WaitNotFull.
+  int64_t producer_wait_ns() const {
+    return producer_wait_ns_.load(std::memory_order_relaxed);
+  }
+  // Total ns the consumer spent parked in WaitNotEmpty.
+  int64_t consumer_wait_ns() const {
+    return consumer_wait_ns_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -126,6 +171,9 @@ class SpscQueue {
   uint64_t head_cache_ = 0;      // producer's cached head index (same line)
   ConsumerSide head_;            // next slot to read
   uint64_t tail_cache_ = 0;      // consumer's cached tail index (same line)
+  std::atomic<uint64_t> depth_hwm_{0};
+  std::atomic<int64_t> producer_wait_ns_{0};
+  std::atomic<int64_t> consumer_wait_ns_{0};
 };
 
 }  // namespace rumor

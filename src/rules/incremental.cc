@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/trace.h"
 #include "mop/aggregate_mop.h"
 #include "mop/join_mop.h"
 #include "mop/predicate_index_mop.h"
@@ -221,6 +222,7 @@ std::string PruneStats::ToString() const {
 
 IncrementalMergeStats MergeNewQuery(Plan* plan,
                                     const OptimizerOptions& options) {
+  RUMOR_TRACE_SPAN("MergeNewQuery");
   IncrementalMergeStats stats;
   // The rules applied here do not consult the ~ analysis (CSE and sσ match
   // on exact channel identity), so no whole-plan recomputation is paid on a
@@ -344,6 +346,7 @@ bool ApplyCandidate(Plan* plan, ShareIndex* index,
 IncrementalMergeStats MergeNewQueryIndexed(Plan* plan, ShareIndex* index,
                                            MopId first_fresh,
                                            const OptimizerOptions& options) {
+  RUMOR_TRACE_SPAN("MergeNewQueryIndexed");
   RUMOR_CHECK(index->plan() == plan);
   IncrementalMergeStats stats;
   // One benefit-ordered sub-pass over one group of merge kinds: probe every

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/trace.h"
 #include "rules/incremental.h"
 #include "rules/share_index.h"
 
@@ -56,6 +57,7 @@ std::vector<int> RuleEngine::Run(Plan* plan, const SharableAnalysis& sharable,
 
 OptimizeStats Optimize(Plan* plan, const OptimizerOptions& options,
                        ShareIndex* index) {
+  RUMOR_TRACE_SPAN("Optimize");
   OptimizeStats stats;
   if (index != nullptr && options.use_share_index) {
     // Seeded pass: resolve CSE and sσ through the index up front. sα/s⋈

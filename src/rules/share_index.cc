@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <type_traits>
 
 #include "common/hash.h"
 #include "mop/aggregate_mop.h"
@@ -533,6 +534,29 @@ std::string ShareIndex::DebugDump() const {
   std::ostringstream os;
   for (const std::string& line : lines) os << line << "\n";
   return os.str();
+}
+
+ShareIndex::Stats ShareIndex::GetStats() const {
+  // Hash-node bookkeeping estimate (pointers, hash, allocator rounding).
+  constexpr int64_t kNodeOverhead = 48;
+  Stats s;
+  auto table = [&s](const auto& map, int64_t* entries) {
+    for (const auto& [key, bucket] : map) {
+      *entries += static_cast<int64_t>(bucket.size());
+      s.approx_bytes +=
+          kNodeOverhead + static_cast<int64_t>(sizeof(key)) +
+          static_cast<int64_t>(bucket.capacity() *
+                               sizeof(typename std::decay_t<
+                                      decltype(bucket)>::value_type));
+    }
+  };
+  table(exact_, &s.exact_entries);
+  table(member_, &s.member_entries);
+  table(index_targets_, &s.index_target_entries);
+  table(sel_singles_, &s.sel_single_entries);
+  table(agg_targets_, &s.agg_target_entries);
+  table(postings_, &s.posting_entries);
+  return s;
 }
 
 }  // namespace rumor

@@ -98,6 +98,21 @@ class ShareIndex {
   // rebuild after every phase.
   std::string DebugDump() const;
 
+  // Size statistics: entries per table plus the approximate heap bytes of
+  // all tables (container footprint estimate, for memory budgeting).
+  struct Stats {
+    int64_t exact_entries = 0;
+    int64_t member_entries = 0;
+    int64_t index_target_entries = 0;
+    int64_t sel_single_entries = 0;
+    int64_t agg_target_entries = 0;
+    int64_t posting_entries = 0;
+    int64_t approx_bytes = 0;
+  };
+  Stats GetStats() const;
+  // Approximate heap bytes of the index tables (GetStats().approx_bytes).
+  int64_t ApproxBytes() const { return GetStats().approx_bytes; }
+
   const Plan* plan() const { return plan_; }
 
  private:

@@ -5,14 +5,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "api/stream_engine.h"
 #include "common/json_writer.h"
+#include "common/trace.h"
 #include "common/tuple.h"
 #include "expr/program.h"
 #include "query/builder.h"
@@ -242,6 +246,173 @@ TEST(MetricsTest, HundredQueryPlanExplainsMergedSelectivity) {
   EXPECT_NE(report.find("in=500"), std::string::npos) << report;
   EXPECT_NE(report.find("sel=0."), std::string::npos) << report;
 }
+
+TEST(MetricsTest, EndToEndLatencyRecordedOnScalarAndBatchedPaths) {
+  auto run = [](bool batched) {
+    StreamEngine engine;
+    EXPECT_TRUE(engine.RegisterSource("S", S3()).ok());
+    AddSigmaAggQueries(&engine);
+    MetricsOptions opts;
+    opts.sample_every_n = 1;  // stamp every push
+    engine.SetMetricsOptions(opts);
+    EXPECT_TRUE(engine.Start().ok());
+    std::vector<Tuple> feed = KnownFeed();
+    if (batched) {
+      EXPECT_TRUE(engine.PushBatch("S", feed).ok());
+    } else {
+      for (const Tuple& t : feed) EXPECT_TRUE(engine.Push("S", t).ok());
+    }
+    return engine.CollectMetrics();
+  };
+  EngineMetrics scalar = run(false);
+  if (!scalar.metrics_compiled) GTEST_SKIP() << "built with RUMOR_METRICS=OFF";
+  EngineMetrics batch = run(true);
+  // Both dispatch paths record ingress->sink latency into the snapshot.
+  EXPECT_GT(scalar.latency.count(), 0);
+  EXPECT_GT(batch.latency.count(), 0);
+  EXPECT_GT(scalar.latency.max(), 0);
+  EXPECT_LE(scalar.latency.p50(), scalar.latency.p99());
+  // And the m-op eval distribution rode along with the sampled timing.
+  int64_t hist_samples = 0;
+  for (const auto& row : scalar.mops) hist_samples += row.m.eval_hist.count();
+  EXPECT_GT(hist_samples, 0);
+}
+
+TEST(MetricsTest, ShardedMergeLatencyAndBackpressureGauges) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.SetShardCount(2).ok());
+  ASSERT_TRUE(engine.RegisterSource("S", S3()).ok());
+  AddSigmaAggQueries(&engine);
+  MetricsOptions opts;
+  opts.sample_every_n = 1;
+  engine.SetMetricsOptions(opts);
+  ASSERT_TRUE(engine.Start().ok());
+  std::vector<Tuple> feed;
+  for (int i = 0; i < 64; ++i) {
+    feed.push_back(Tuple::MakeInts({i % 3, i, 0}, i));
+  }
+  ASSERT_TRUE(engine.PushBatch("S", feed).ok());
+  engine.Flush();
+
+  EngineMetrics em = engine.CollectMetrics();
+  ASSERT_EQ(static_cast<int>(em.shard_rows.size()), 2);
+  std::string json = em.ToJson();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json, &error)) << error << "\n" << json;
+  for (const char* key :
+       {"\"latency\"", "\"memory\"", "\"in_depth_hwm\"", "\"out_depth_hwm\"",
+        "\"push_stall_ns\"", "\"worker_stall_ns\"", "\"merge_lag_hwm\"",
+        "\"share_index\"", "\"mop_state_bytes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  if (!em.metrics_compiled) GTEST_SKIP() << "built with RUMOR_METRICS=OFF";
+  // The first epoch is always sampled: push->ordered-delivery latency.
+  EXPECT_GT(em.latency.count(), 0);
+  // Tuples flowed through both shard rings.
+  uint64_t hwm = 0;
+  for (const auto& row : em.shard_rows) {
+    hwm = std::max(hwm, row.in_depth_hwm);
+    EXPECT_GE(row.merge_lag_hwm, 0u);
+  }
+  EXPECT_GT(hwm, 0u);
+}
+
+TEST(MetricsTest, MemorySectionReportsStateAndShareIndexBytes) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("S", S3()).ok());
+  AddSigmaAggQueries(&engine);
+  ASSERT_TRUE(engine.Start().ok());
+  for (const Tuple& t : KnownFeed()) {
+    ASSERT_TRUE(engine.Push("S", t).ok());
+  }
+  EngineMetrics em = engine.CollectMetrics();
+  // The predicate index + the in-window aggregate state are both non-empty,
+  // and StateBytes accounting is unconditional (not gated on RUMOR_METRICS).
+  EXPECT_GT(em.mop_state_bytes, 0);
+  bool some_row_has_state = false;
+  for (const auto& row : em.mops) {
+    if (row.state_bytes > 0) some_row_has_state = true;
+  }
+  EXPECT_TRUE(some_row_has_state);
+  // Share-point index stats (three standing queries registered entries).
+  EXPECT_TRUE(em.share_index.present);
+  EXPECT_GT(em.share_index.approx_bytes, 0);
+  EXPECT_GT(em.share_index.exact_entries + em.share_index.member_entries +
+                em.share_index.index_target_entries +
+                em.share_index.sel_single_entries +
+                em.share_index.agg_target_entries,
+            0);
+  // Both reports surface the section.
+  EXPECT_NE(em.ToString().find("memory:"), std::string::npos);
+  EXPECT_NE(engine.ExplainAnalyze().find("share index:"), std::string::npos);
+}
+
+TEST(MetricsTest, MetricsTickerProducesTimeSeries) {
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("S", S3()).ok());
+  AddSigmaAggQueries(&engine);
+  ASSERT_TRUE(engine.Start().ok());
+  engine.StartMetricsTicker(std::chrono::milliseconds(2),
+                            /*history_capacity=*/8);
+  for (const Tuple& t : KnownFeed()) {
+    ASSERT_TRUE(engine.Push("S", t).ok());
+  }
+  // Wait until at least one tick lands (bounded: ~250 * 2ms).
+  std::vector<StreamEngine::MetricsTick> ticks;
+  for (int spin = 0; spin < 250 && ticks.empty(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ticks = engine.MetricsHistory();
+  }
+  engine.StopMetricsTicker();
+  ASSERT_FALSE(ticks.empty());
+  EXPECT_LE(ticks.size(), 8u);  // ring is bounded
+  EXPECT_GT(ticks.back().t_ns, 0);
+  if (engine.CollectMetrics().metrics_compiled) {
+    EXPECT_EQ(ticks.back().push_calls, 6);
+    EXPECT_EQ(ticks.back().tuples_pushed, 6);
+    EXPECT_GT(ticks.back().outputs, 0);
+  }
+  std::string json = engine.MetricsHistoryJson();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"ticks\""), std::string::npos) << json;
+  // Stopping twice is a no-op; restart replaces the ticker.
+  engine.StopMetricsTicker();
+  engine.StartMetricsTicker(std::chrono::milliseconds(50));
+  engine.StopMetricsTicker();
+}
+
+#if RUMOR_METRICS_ENABLED
+TEST(MetricsTest, TraceDumpCoversOptimizerAndEpochFlushSpans) {
+  Trace::Clear();
+  Trace::Enable(true);
+  {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.SetShardCount(2).ok());
+    ASSERT_TRUE(engine.RegisterSource("S", S3()).ok());
+    AddSigmaAggQueries(&engine);
+    ASSERT_TRUE(engine.Start().ok());  // -> Optimize span
+    // Live add -> indexed incremental-merge span.
+    auto s = QueryBuilder::FromSource("S", S3());
+    ASSERT_TRUE(engine.AddQuery(s.Select("a0 = 5").Build("QL")).ok());
+    for (const Tuple& t : KnownFeed()) {
+      ASSERT_TRUE(engine.Push("S", t).ok());
+    }
+    engine.Flush();  // -> ShardedExecutor::Flush span
+  }
+  Trace::Enable(false);
+  EXPECT_GT(Trace::span_count(), 0);
+  std::string json = Trace::DumpChromeJson();
+  std::string error;
+  EXPECT_TRUE(JsonLint(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"Optimize\""), std::string::npos) << json;
+  EXPECT_NE(json.find("MergeNewQuery"), std::string::npos) << json;
+  EXPECT_NE(json.find("ShardedExecutor::Flush"), std::string::npos) << json;
+  Trace::Clear();
+  EXPECT_EQ(Trace::span_count(), 0);
+}
+#endif  // RUMOR_METRICS_ENABLED
 
 }  // namespace
 }  // namespace rumor
