@@ -1,0 +1,149 @@
+// Checkpoint/restore benchmark: snapshot size and save/restore latency as a
+// function of (a) window-state size — one grouped sliding-window aggregate
+// whose live entry count tracks RANGE — and (b) standing-query count (1k and,
+// under RUMOR_BENCH_SCALE=full, 100k predicate queries merged into the shared
+// predicate index).
+//
+// Prints a table and writes BENCH_checkpoint.json. RUMOR_BENCH_TINY=1 shrinks
+// both sweeps to CI-sized points (the perf-smoke job runs that mode as a
+// functional checkpoint/restore cycle, not a measurement).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/stream_engine.h"
+#include "bench/figure_common.h"
+#include "common/json_writer.h"
+
+using namespace rumor;
+using namespace rumor::bench;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Sample {
+  const char* axis;   // "window" or "queries"
+  int64_t x;          // window range or query count
+  size_t bytes;       // snapshot size
+  double save_ms;
+  double restore_ms;
+};
+
+// One grouped AVG over [RANGE w] with w distinct-ts tuples live at
+// checkpoint time; key cardinality w/8 keeps the group table populated too.
+Sample MeasureWindowState(int64_t w) {
+  StreamEngine engine;
+  RUMOR_CHECK(engine.RegisterSource(
+                        "S", Schema({{"k", ValueType::kInt},
+                                     {"v", ValueType::kInt}}))
+                  .ok());
+  RUMOR_CHECK(engine
+                  .AddQueryText("SELECT k, AVG(v) FROM S [RANGE " +
+                                    std::to_string(w) + "] GROUP BY k",
+                                "W")
+                  .ok());
+  RUMOR_CHECK(engine.Start().ok());
+  const int64_t keys = w / 8 > 0 ? w / 8 : 1;
+  for (int64_t i = 0; i < 2 * w; ++i) {  // fill past one full window
+    RUMOR_CHECK(engine.Push("S", Tuple::MakeInts({i % keys, i % 997}, i)).ok());
+  }
+  std::string snapshot;
+  auto t0 = std::chrono::steady_clock::now();
+  RUMOR_CHECK(engine.Checkpoint(&snapshot).ok());
+  const double save_ms = MsSince(t0);
+
+  StreamEngine restored;
+  t0 = std::chrono::steady_clock::now();
+  RUMOR_CHECK(restored.Restore(snapshot).ok());
+  const double restore_ms = MsSince(t0);
+  return {"window", w, snapshot.size(), save_ms, restore_ms};
+}
+
+// n point-predicate queries over one source (the shared predicate index);
+// state is small, so this axis isolates the per-query metadata cost (texts,
+// names, counters, plan fingerprints) and restore's re-parse + merge.
+Sample MeasureQueryCount(int64_t n) {
+  StreamEngine engine;
+  RUMOR_CHECK(engine.RegisterSource(
+                        "S", Schema({{"a0", ValueType::kInt},
+                                     {"a1", ValueType::kInt}}))
+                  .ok());
+  for (int64_t i = 0; i < n; ++i) {
+    RUMOR_CHECK(engine
+                    .AddQueryText("SELECT * FROM S WHERE a0 = " +
+                                      std::to_string(i % 4096) +
+                                      " AND a1 <= " + std::to_string(i % 97),
+                                  "Q" + std::to_string(i))
+                    .ok());
+  }
+  RUMOR_CHECK(engine.Start().ok());
+  for (int64_t i = 0; i < 256; ++i) {
+    RUMOR_CHECK(engine.Push("S", Tuple::MakeInts({i % 4096, i % 97}, i)).ok());
+  }
+  std::string snapshot;
+  auto t0 = std::chrono::steady_clock::now();
+  RUMOR_CHECK(engine.Checkpoint(&snapshot).ok());
+  const double save_ms = MsSince(t0);
+
+  StreamEngine restored;
+  t0 = std::chrono::steady_clock::now();
+  RUMOR_CHECK(restored.Restore(snapshot).ok());
+  const double restore_ms = MsSince(t0);
+  return {"queries", n, snapshot.size(), save_ms, restore_ms};
+}
+
+}  // namespace
+
+int main() {
+  const bool tiny = std::getenv("RUMOR_BENCH_TINY") != nullptr;
+  const Scale scale = GetScale();
+
+  std::vector<int64_t> windows =
+      tiny ? std::vector<int64_t>{256, 1024}
+           : std::vector<int64_t>{1000, 10000, 100000};
+  std::vector<int64_t> query_counts = tiny ? std::vector<int64_t>{64, 256}
+                                           : std::vector<int64_t>{1000};
+  if (!tiny && scale.full) query_counts.push_back(100000);
+
+  std::printf("# bench_checkpoint — snapshot size and save/restore latency\n");
+  std::printf("%-10s %12s %14s %12s %12s\n", "axis", "x", "snapshot_B",
+              "save_ms", "restore_ms");
+  std::vector<Sample> samples;
+  for (int64_t w : windows) samples.push_back(MeasureWindowState(w));
+  for (int64_t n : query_counts) samples.push_back(MeasureQueryCount(n));
+  for (const Sample& s : samples) {
+    std::printf("%-10s %12lld %14zu %12.3f %12.3f\n", s.axis,
+                static_cast<long long>(s.x), s.bytes, s.save_ms, s.restore_ms);
+  }
+
+  JsonWriter w;
+  w.BeginObject()
+      .KV("bench", "checkpoint")
+      .Key("tiny")
+      .Bool(tiny)
+      .Key("rows")
+      .BeginArray();
+  for (const Sample& s : samples) {
+    w.BeginObject()
+        .KV("axis", s.axis)
+        .Key("x")
+        .Int(s.x)
+        .Key("snapshot_bytes")
+        .Int(static_cast<int64_t>(s.bytes))
+        .Key("save_ms")
+        .Double(s.save_ms)
+        .Key("restore_ms")
+        .Double(s.restore_ms)
+        .EndObject();
+  }
+  w.EndArray().EndObject();
+  if (!WriteReport("BENCH_checkpoint.json", w.str())) return 1;
+  return 0;
+}

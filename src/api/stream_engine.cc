@@ -4,8 +4,10 @@
 #include <unordered_map>
 
 #include "common/json_writer.h"
+#include "common/snapshot_io.h"
 #include "common/str_util.h"
 #include "plan/explain.h"
+#include "plan/state_snapshot.h"
 #include "rules/incremental.h"
 
 namespace rumor {
@@ -60,6 +62,12 @@ class StreamEngine::HandlerSink : public OutputSink {
     return it == counts_.end() ? 0 : it->second;
   }
 
+  // Restore: carry a query's delivered total across the checkpoint (counts_
+  // nodes are stable, so existing Route::count pointers stay valid).
+  void SeedCount(const std::string& name, int64_t delivered) {
+    counts_[name] = delivered;
+  }
+
  private:
   struct Route {
     std::string name;
@@ -81,6 +89,7 @@ Status StreamEngine::RegisterSource(const std::string& name, Schema schema,
   if (catalog_.Resolve(name) != nullptr) {
     return Status::AlreadyExists(StrCat("source '", name, "' exists"));
   }
+  sources_.push_back({name, schema, sharable_label});
   catalog_.AddSource(name, std::move(schema), sharable_label);
   return Status::OK();
 }
@@ -103,6 +112,10 @@ int StreamEngine::FindQuery(const std::string& name) const {
 }
 
 Status StreamEngine::AddQuery(Query query) {
+  return AddQueryWithText(std::move(query), "");
+}
+
+Status StreamEngine::AddQueryWithText(Query query, std::string text) {
   if (query.root == nullptr) {
     return Status::InvalidArgument("query has no body");
   }
@@ -110,10 +123,11 @@ Status StreamEngine::AddQuery(Query query) {
     return Status::AlreadyExists(
         StrCat("query '", query.name, "' already exists"));
   }
-  if (started()) return AddQueryLive(std::move(query));
+  if (started()) return AddQueryLive(std::move(query), std::move(text));
   catalog_.AddQuery(query);
   query_index_[ToLower(query.name)] = static_cast<int>(queries_.size());
   queries_.push_back(std::move(query));
+  query_texts_.push_back(std::move(text));
   return Status::OK();
 }
 
@@ -123,19 +137,21 @@ Status StreamEngine::AddQueryText(const std::string& rql,
   if (!parsed.ok()) return parsed.status();
   Query query = std::move(parsed).value();
   if (!name.empty()) query.name = name;
-  return AddQuery(std::move(query));
+  return AddQueryWithText(std::move(query), rql);
 }
 
 Status StreamEngine::AddScript(const std::string& rql) {
-  auto parsed = ParseScript(rql, catalog_);
+  std::vector<std::string> texts;
+  auto parsed = ParseScript(rql, catalog_, &texts);
   if (!parsed.ok()) return parsed.status();
-  for (Query& q : parsed.value()) {
-    RUMOR_RETURN_IF_ERROR(AddQuery(std::move(q)));
+  for (size_t i = 0; i < parsed.value().size(); ++i) {
+    RUMOR_RETURN_IF_ERROR(
+        AddQueryWithText(std::move(parsed.value()[i]), std::move(texts[i])));
   }
   return Status::OK();
 }
 
-Status StreamEngine::AddQueryLive(Query query) {
+Status StreamEngine::AddQueryLive(Query query, std::string text) {
   if (sharded_ != nullptr) {
     if (sharded_->busy()) {
       return Status::Internal("cannot add queries from inside a push");
@@ -178,6 +194,7 @@ Status StreamEngine::AddQueryLive(Query query) {
     catalog_.AddQuery(query);
     query_index_[ToLower(query.name)] = static_cast<int>(queries_.size());
     queries_.push_back(std::move(query));
+    query_texts_.push_back(std::move(text));
     return Status::OK();
   }
   if (executor_->busy()) {
@@ -215,6 +232,7 @@ Status StreamEngine::AddQueryLive(Query query) {
   catalog_.AddQuery(query);
   query_index_[ToLower(query.name)] = static_cast<int>(queries_.size());
   queries_.push_back(std::move(query));
+  query_texts_.push_back(std::move(text));
   return Status::OK();
 }
 
@@ -269,6 +287,7 @@ Status StreamEngine::RemoveQuery(const std::string& name) {
     executor_->Refresh();  // validates the plan
   }
   queries_.erase(queries_.begin() + index);
+  query_texts_.erase(query_texts_.begin() + index);
   catalog_.Remove(canonical);
   // Shift the name index in place (values only — no rehash of the
   // surviving names).
@@ -414,6 +433,239 @@ void StreamEngine::Flush() {
   if (sharded_ != nullptr) sharded_->Flush();
 }
 
+// --- durability ---------------------------------------------------------------
+
+Status StreamEngine::Checkpoint(std::string* out) const {
+  if (!started()) {
+    return Status::Internal("checkpoint requires a started engine");
+  }
+  if (executor_ != nullptr && executor_->busy()) {
+    return Status::Internal("cannot checkpoint from inside a push");
+  }
+  if (sharded_ != nullptr && sharded_->busy()) {
+    return Status::Internal("cannot checkpoint from inside a push");
+  }
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (query_texts_[i].empty()) {
+      return Status::InvalidArgument(
+          StrCat("query '", queries_[i].name,
+                 "' was added as a logical object; checkpoint requires "
+                 "queries added from RQL text (AddQueryText/AddScript)"));
+    }
+  }
+
+  SnapshotBuilder builder;
+  {
+    SnapshotWriter w;
+    w.U32(static_cast<uint32_t>(sharded_ != nullptr
+                                    ? sharded_->num_shards()
+                                    : 1));
+    w.I64(push_calls_.load(std::memory_order_relaxed));
+    w.I64(tuples_pushed_.load(std::memory_order_relaxed));
+    w.I64(outputs_total_.load(std::memory_order_relaxed));
+    builder.AddSection(SnapshotSection::kEngine, w.Take());
+  }
+  {
+    SnapshotWriter w;
+    w.U32(static_cast<uint32_t>(sources_.size()));
+    for (const RegisteredSource& src : sources_) {
+      w.Str(src.name);
+      w.I64(src.sharable_label);
+      w.U32(static_cast<uint32_t>(src.schema.size()));
+      for (const Attribute& attr : src.schema.attributes()) {
+        w.Str(attr.name);
+        w.U8(static_cast<uint8_t>(attr.type));
+      }
+    }
+    builder.AddSection(SnapshotSection::kSources, w.Take());
+  }
+  {
+    SnapshotWriter w;
+    w.U32(static_cast<uint32_t>(queries_.size()));
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      w.Str(queries_[i].name);
+      w.Str(query_texts_[i]);
+      w.I64(OutputCount(queries_[i].name));
+    }
+    builder.AddSection(SnapshotSection::kQueries, w.Take());
+  }
+  if (sharded_ != nullptr) {
+    // One state section per shard, serialized ON each worker thread via the
+    // quiesce path — the same synchronization AddQuery/RemoveQuery use, so
+    // checkpoints interleave safely with query churn and pushes.
+    std::vector<std::string> payloads(sharded_->num_shards());
+    Status st = sharded_->MutateShards(
+        [&](int shard, Plan& plan, Executor&) -> Status {
+          auto payload = SavePlanState(plan);
+          if (!payload.ok()) return payload.status();
+          payloads[shard] = std::move(payload).value();
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+    for (std::string& payload : payloads) {
+      builder.AddSection(SnapshotSection::kState, std::move(payload));
+    }
+  } else {
+    auto payload = SavePlanState(plan_);
+    if (!payload.ok()) return payload.status();
+    builder.AddSection(SnapshotSection::kState, std::move(payload).value());
+  }
+  *out = builder.Take();
+  return Status::OK();
+}
+
+Status StreamEngine::CheckpointToFile(const std::string& path) const {
+  std::string bytes;
+  RUMOR_RETURN_IF_ERROR(Checkpoint(&bytes));
+  return WriteFileBytes(path, bytes);
+}
+
+Status StreamEngine::Restore(std::string_view snapshot) {
+  if (started()) {
+    return Status::Internal("restore requires a not-yet-started engine");
+  }
+  if (!queries_.empty() || !sources_.empty()) {
+    return Status::Internal("restore requires an empty engine");
+  }
+
+  // Stage 1: decode and validate the whole snapshot before touching any
+  // engine state — a corrupt snapshot must leave the engine fully usable.
+  std::vector<SnapshotSectionView> sections;
+  RUMOR_RETURN_IF_ERROR(ParseSnapshot(snapshot, &sections));
+  const SnapshotSectionView* engine_section = nullptr;
+  const SnapshotSectionView* sources_section = nullptr;
+  const SnapshotSectionView* queries_section = nullptr;
+  std::vector<std::string_view> state_sections;
+  for (const SnapshotSectionView& s : sections) {
+    switch (s.id) {
+      case SnapshotSection::kEngine: engine_section = &s; break;
+      case SnapshotSection::kSources: sources_section = &s; break;
+      case SnapshotSection::kQueries: queries_section = &s; break;
+      case SnapshotSection::kState: state_sections.push_back(s.payload);
+        break;
+    }
+  }
+  if (engine_section == nullptr || sources_section == nullptr ||
+      queries_section == nullptr || state_sections.empty()) {
+    return Status::InvalidArgument("snapshot is missing required sections");
+  }
+
+  uint32_t saved_shards = 0;
+  int64_t saved_push_calls = 0, saved_tuples = 0, saved_outputs = 0;
+  {
+    SnapshotReader r(engine_section->payload);
+    RUMOR_RETURN_IF_ERROR(r.U32(&saved_shards));
+    RUMOR_RETURN_IF_ERROR(r.I64(&saved_push_calls));
+    RUMOR_RETURN_IF_ERROR(r.I64(&saved_tuples));
+    RUMOR_RETURN_IF_ERROR(r.I64(&saved_outputs));
+  }
+  if (saved_shards != state_sections.size()) {
+    return Status::InvalidArgument(
+        StrCat("snapshot declares ", saved_shards, " shards but carries ",
+               state_sections.size(), " state sections"));
+  }
+
+  std::vector<RegisteredSource> sources;
+  {
+    SnapshotReader r(sources_section->payload);
+    uint32_t n = 0;
+    RUMOR_RETURN_IF_ERROR(r.U32(&n));
+    for (uint32_t i = 0; i < n; ++i) {
+      RegisteredSource src;
+      RUMOR_RETURN_IF_ERROR(r.Str(&src.name));
+      int64_t label = 0;
+      RUMOR_RETURN_IF_ERROR(r.I64(&label));
+      src.sharable_label = static_cast<int>(label);
+      uint32_t attrs = 0;
+      RUMOR_RETURN_IF_ERROR(r.U32(&attrs));
+      std::vector<Attribute> attributes;
+      for (uint32_t a = 0; a < attrs; ++a) {
+        Attribute attr;
+        RUMOR_RETURN_IF_ERROR(r.Str(&attr.name));
+        uint8_t type = 0;
+        RUMOR_RETURN_IF_ERROR(r.U8(&type));
+        if (type > static_cast<uint8_t>(ValueType::kBool)) {
+          return Status::InvalidArgument("unknown attribute type");
+        }
+        attr.type = static_cast<ValueType>(type);
+        attributes.push_back(std::move(attr));
+      }
+      src.schema = Schema(std::move(attributes));
+      sources.push_back(std::move(src));
+    }
+  }
+
+  struct SavedQuery {
+    std::string name;
+    std::string text;
+    int64_t delivered = 0;
+  };
+  std::vector<SavedQuery> saved_queries;
+  {
+    SnapshotReader r(queries_section->payload);
+    uint32_t n = 0;
+    RUMOR_RETURN_IF_ERROR(r.U32(&n));
+    for (uint32_t i = 0; i < n; ++i) {
+      SavedQuery q;
+      RUMOR_RETURN_IF_ERROR(r.Str(&q.name));
+      RUMOR_RETURN_IF_ERROR(r.Str(&q.text));
+      RUMOR_RETURN_IF_ERROR(r.I64(&q.delivered));
+      saved_queries.push_back(std::move(q));
+    }
+  }
+  if (saved_queries.empty()) {
+    return Status::InvalidArgument("snapshot contains no queries");
+  }
+
+  std::vector<std::vector<MopState>> shard_states(state_sections.size());
+  for (size_t s = 0; s < state_sections.size(); ++s) {
+    RUMOR_RETURN_IF_ERROR(
+        ParsePlanState(state_sections[s], &shard_states[s]));
+  }
+  auto merged_or = MergeShardStates(std::move(shard_states));
+  if (!merged_or.ok()) return merged_or.status();
+  const std::vector<MopState> merged = std::move(merged_or).value();
+
+  // Stage 2: rebuild the engine — sources, queries (replaying the
+  // incremental merge onto this engine's shard count), then the plan(s).
+  for (RegisteredSource& src : sources) {
+    RUMOR_RETURN_IF_ERROR(
+        RegisterSource(src.name, std::move(src.schema), src.sharable_label));
+  }
+  for (const SavedQuery& q : saved_queries) {
+    RUMOR_RETURN_IF_ERROR(AddQueryText(q.text, q.name));
+  }
+  RUMOR_RETURN_IF_ERROR(Start());
+
+  // Stage 3: load the merged state image into the fresh plan(s). Every
+  // shard replica receives the full image ("lazy shedding"): partitioned
+  // routing only ever feeds a shard the keys it owns, so foreign-key state
+  // sits inert and ages out of the windows.
+  if (sharded_ != nullptr) {
+    RUMOR_RETURN_IF_ERROR(sharded_->MutateShards(
+        [&](int, Plan& plan, Executor&) -> Status {
+          return LoadPlanState(plan, merged);
+        }));
+  } else {
+    RUMOR_RETURN_IF_ERROR(LoadPlanState(plan_, merged));
+  }
+
+  // Stage 4: carry the observable counters across the crash.
+  push_calls_.store(saved_push_calls, std::memory_order_relaxed);
+  tuples_pushed_.store(saved_tuples, std::memory_order_relaxed);
+  outputs_total_.store(saved_outputs, std::memory_order_relaxed);
+  for (const SavedQuery& q : saved_queries) {
+    sink_->SeedCount(q.name, q.delivered);
+  }
+  return Status::OK();
+}
+
+Status StreamEngine::RestoreFromFile(const std::string& path) {
+  std::string bytes;
+  RUMOR_RETURN_IF_ERROR(ReadFileBytes(path, &bytes));
+  return Restore(bytes);
+}
+
 int64_t StreamEngine::OutputCount(const std::string& query_name) const {
   return sink_ == nullptr ? 0 : sink_->CountFor(query_name);
 }
@@ -525,7 +777,14 @@ void StreamEngine::StartMetricsTicker(std::chrono::milliseconds interval,
     std::lock_guard<std::mutex> lock(history_mu_);
     history_cap_ = history_capacity == 0 ? 1 : history_capacity;
   }
-  ticker_stop_ = false;
+  {
+    // Under the mutex: the new thread reads ticker_stop_ under ticker_mu_,
+    // and an unsynchronized reset here raced a concurrent StopMetricsTicker
+    // (the stop flag could be overwritten after the stopper set it, leaving
+    // the previous ticker unjoined and spinning at engine destruction).
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    ticker_stop_ = false;
+  }
   ticker_ = std::thread([this, interval] {
     std::unique_lock<std::mutex> lock(ticker_mu_);
     for (;;) {

@@ -121,6 +121,29 @@ class StreamEngine {
   // already returns only after full propagation.
   void Flush();
 
+  // --- durability (checkpoint/restore) ---------------------------------------
+  // Serializes the running engine into the versioned snapshot format
+  // (common/snapshot_io.h): registered sources, the live query set (as RQL
+  // text, in add order), engine counters, and the operator state of every
+  // stateful m-op — window logs, aggregation accumulators, join buffers,
+  // partial-match stores. Sharded engines quiesce and save one state
+  // section per shard. Requires Start(); every live query must have been
+  // added from RQL text (AddQueryText/AddScript — restore re-parses it), and
+  // the call must not come from inside an output handler.
+  Status Checkpoint(std::string* out) const;
+  Status CheckpointToFile(const std::string& path) const;
+  // Rebuilds this (fresh: not started, no queries added) engine from a
+  // snapshot: re-registers the saved sources, re-adds the saved queries —
+  // replaying the incremental merge, so the restored shared plan may be
+  // shaped differently — starts the engine, and loads the saved operator
+  // state into the matching members (matched by structural fingerprint,
+  // plan/fingerprint.h). The snapshot is fully validated before any engine
+  // state is touched. The restored engine may run any shard count (call
+  // SetShardCount first): a sharded checkpoint is merged into one logical
+  // image and re-partitioned onto the new layout.
+  Status Restore(std::string_view snapshot);
+  Status RestoreFromFile(const std::string& path);
+
   // --- observability -----------------------------------------------------------
   bool started() const { return executor_ != nullptr || sharded_ != nullptr; }
   int num_queries() const { return static_cast<int>(queries_.size()); }
@@ -185,8 +208,11 @@ class StreamEngine {
   int FindQuery(const std::string& name) const;
   // Stream id of a registered source, or NotFound / not-started errors.
   Result<StreamId> FindSourceId(const std::string& source) const;
+  // Shared implementation of the Add* methods; `text` is the query's RQL
+  // source ("" for logical-object adds, which a checkpoint then rejects).
+  Status AddQueryWithText(Query query, std::string text);
   // Compiles + incrementally merges a query into the running plan.
-  Status AddQueryLive(Query query);
+  Status AddQueryLive(Query query, std::string text);
   // Re-derives the source name -> stream id table from the plan.
   void RefreshSourceIds();
   // The plan queries run against: shard 0's replica when sharded (callers
@@ -197,6 +223,17 @@ class StreamEngine {
   MetricsOptions metrics_options_;
   Catalog catalog_;
   std::vector<Query> queries_;
+  // RQL source of queries_[i] ("" when added as a logical object); restore
+  // re-parses these, so Checkpoint requires them to be non-empty.
+  std::vector<std::string> query_texts_;
+  // Every RegisterSource call, in order (the catalog keeps no iterable
+  // source list, and a source may be registered before any query reads it).
+  struct RegisteredSource {
+    std::string name;
+    Schema schema;
+    int sharable_label = -1;
+  };
+  std::vector<RegisteredSource> sources_;
   // Lowercase query name -> index in queries_. O(1) FindQuery — a linear
   // rescan per Add/Remove was quadratic over large standing populations.
   std::unordered_map<std::string, int> query_index_;

@@ -26,6 +26,9 @@ bool StartsWith(const std::string& s, const std::string& prefix);
 // Lowercase ASCII copy.
 std::string ToLower(const std::string& s);
 
+// Copy of `s` with leading/trailing ASCII whitespace removed.
+std::string Trim(const std::string& s);
+
 }  // namespace rumor
 
 #endif  // RUMOR_COMMON_STR_UTIL_H_

@@ -3,6 +3,7 @@
 #include <new>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/metrics.h"
 
@@ -97,7 +98,10 @@ internal::PayloadHeader* TupleArena::Allocate(uint32_t width) {
   ++outstanding_;
   ++requests_;
   RUMOR_METRIC(bytes_outstanding_ += BlockBytes(width));
-  if (width < free_.size() && !free_[width].empty()) {
+  // Failpoint: force the slow heap path (pool-bypass) to exercise the
+  // allocation fallback under fault injection.
+  if (!RUMOR_FAILPOINT("arena/alloc") && width < free_.size() &&
+      !free_[width].empty()) {
     internal::PayloadHeader* block = free_[width].back();
     free_[width].pop_back();
     --pooled_;

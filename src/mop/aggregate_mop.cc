@@ -1,5 +1,9 @@
 #include "mop/aggregate_mop.h"
 
+#include <algorithm>
+
+#include "mop/mop_state.h"
+
 namespace rumor {
 
 MopType AggregateMop::TypeFor(Sharing sharing) {
@@ -137,6 +141,162 @@ void AggregateMop::ProcessBatch(int input_port, const ChannelTuple* tuples,
     CountOut();
   };
   for (size_t i = 0; i < n; ++i) ProcessOne(tuples[i], emit);
+}
+
+bool AggregateMop::SaveState(MopState* out) const {
+  out->kind = MopState::Kind::kAggregate;
+  out->shared_state = sharing_ != Sharing::kIsolated;
+  out->member_active.resize(num_members());
+  for (int i = 0; i < num_members(); ++i) {
+    out->member_active[i] = member_active(i) ? 1 : 0;
+  }
+  out->engines.clear();
+  if (sharing_ == Sharing::kIsolated) {
+    for (int i = 0; i < num_members(); ++i) {
+      if (engines_[i] == nullptr) continue;  // deactivated member
+      AggEngineState es;
+      es.slots = {i};
+      engines_[i]->ExtractState(&es);
+      out->engines.push_back(std::move(es));
+    }
+  } else {
+    AggEngineState es;
+    es.slots.resize(num_members());
+    for (int i = 0; i < num_members(); ++i) es.slots[i] = i;
+    engines_[0]->ExtractState(&es);
+    out->engines.push_back(std::move(es));
+  }
+  return true;
+}
+
+namespace {
+
+// Locates the saved engine and engine-member index serving saved m-op
+// member `s`.
+bool FindSavedEngineMember(const MopState& src, int s,
+                           const AggEngineState** engine, int* idx) {
+  for (const AggEngineState& e : src.engines) {
+    for (size_t k = 0; k < e.slots.size(); ++k) {
+      if (e.slots[k] == s) {
+        *engine = &e;
+        *idx = static_cast<int>(k);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Builds one AggEngineState whose engine-member r carries the state of
+// `sources[r]` = (saved engine, engine-member index), for restored engines
+// whose members were saved across several engines. Entries are merged in
+// timestamp order (per member the relative order within its origin engine —
+// the FIFO discipline replay depends on — is preserved).
+AggEngineState MergeSavedEngines(
+    const std::vector<std::pair<const AggEngineState*, int>>& sources) {
+  AggEngineState merged;
+  const int n = static_cast<int>(sources.size());
+  std::vector<const AggEngineState*> engines;
+  for (const auto& [e, idx] : sources) {
+    if (e != nullptr &&
+        std::find(engines.begin(), engines.end(), e) == engines.end()) {
+      engines.push_back(e);
+    }
+  }
+  std::vector<size_t> pos(engines.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (size_t k = 0; k < engines.size(); ++k) {
+      if (pos[k] >= engines[k]->entries.size()) continue;
+      if (best < 0 || engines[k]->entries[pos[k]].ts <
+                          engines[best]->entries[pos[best]].ts) {
+        best = static_cast<int>(k);
+      }
+    }
+    if (best < 0) break;
+    const AggLogEntry& e = engines[best]->entries[pos[best]++];
+    AggLogEntry out = e;
+    out.membership = BitVector(n);
+    for (int r = 0; r < n; ++r) {
+      const auto& [src_engine, src_idx] = sources[r];
+      if (src_engine == engines[best] && src_idx < e.membership.size() &&
+          e.membership.Test(src_idx)) {
+        out.membership.Set(r);
+      }
+    }
+    if (out.membership.None()) continue;
+    merged.entries.push_back(std::move(out));
+  }
+  merged.members.resize(n);
+  for (int r = 0; r < n; ++r) {
+    const auto& [src_engine, src_idx] = sources[r];
+    if (src_engine != nullptr &&
+        src_idx < static_cast<int>(src_engine->members.size())) {
+      merged.members[r].groups = src_engine->members[src_idx].groups;
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+Status AggregateMop::LoadState(const MopState& src,
+                               const MopStateBinding& binding) {
+  if (src.kind != MopState::Kind::kAggregate) {
+    return Status::Internal("aggregate m-op handed non-aggregate state");
+  }
+  if (binding.saved_slot.size() != static_cast<size_t>(num_members())) {
+    return Status::Internal("aggregate state binding size mismatch");
+  }
+  if (sharing_ == Sharing::kIsolated) {
+    for (int r = 0; r < num_members(); ++r) {
+      const int s = binding.saved_slot[r];
+      if (s < 0 || engines_[r] == nullptr) continue;
+      const AggEngineState* engine = nullptr;
+      int idx = -1;
+      if (!FindSavedEngineMember(src, s, &engine, &idx)) {
+        return Status::InvalidArgument(
+            "snapshot lacks saved aggregate state for a matched member");
+      }
+      RUMOR_RETURN_IF_ERROR(engines_[r]->LoadState(*engine, {idx}));
+    }
+    return Status::OK();
+  }
+  if (sharing_ != Sharing::kShared) {
+    return Status::Unimplemented(
+        "restored plans build isolated or sα aggregates only");
+  }
+  // Shared engine: resolve every member's saved source, then load in one
+  // shot (merging saved engines when the sources are spread across several).
+  std::vector<std::pair<const AggEngineState*, int>> sources(
+      num_members(), {nullptr, -1});
+  const AggEngineState* common = nullptr;
+  bool single_engine = true;
+  std::vector<int> direct(num_members(), -1);
+  for (int r = 0; r < num_members(); ++r) {
+    const int s = binding.saved_slot[r];
+    if (s < 0) continue;
+    const AggEngineState* engine = nullptr;
+    int idx = -1;
+    if (!FindSavedEngineMember(src, s, &engine, &idx)) {
+      return Status::InvalidArgument(
+          "snapshot lacks saved aggregate state for a matched member");
+    }
+    sources[r] = {engine, idx};
+    direct[r] = idx;
+    if (common == nullptr) common = engine;
+    if (engine != common) single_engine = false;
+  }
+  if (common == nullptr) return Status::OK();  // nothing to restore
+  if (single_engine) {
+    return engines_[0]->LoadState(*common, direct);
+  }
+  AggEngineState merged = MergeSavedEngines(sources);
+  std::vector<int> identity(num_members());
+  for (int r = 0; r < num_members(); ++r) {
+    identity[r] = sources[r].first == nullptr ? -1 : r;
+  }
+  return engines_[0]->LoadState(merged, identity);
 }
 
 template <typename EmitFn>

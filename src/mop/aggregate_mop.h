@@ -86,6 +86,10 @@ class AggregateMop : public Mop {
   void ProcessBatch(int input_port, const ChannelTuple* tuples, size_t n,
                     Emitter& out) override;
 
+  bool SaveState(MopState* out) const override;
+  Status LoadState(const MopState& src,
+                   const MopStateBinding& binding) override;
+
  private:
   static MopType TypeFor(Sharing sharing);
 

@@ -1,5 +1,7 @@
 #include "mop/iterate_mop.h"
 
+#include "mop/mop_state.h"
+
 namespace rumor {
 
 MopType IterateMop::TypeFor(Sharing sharing) {
@@ -69,6 +71,56 @@ Tuple IterateMop::MakeInitialConcat(const Tuple& start,
     values.insert(values.end(), def.right_size, Value());
   }
   return Tuple::Make(std::move(values), start.ts());
+}
+
+bool IterateMop::SaveState(MopState* out) const {
+  out->kind = MopState::Kind::kIterate;
+  out->shared_state = sharing_ != Sharing::kIsolated;
+  out->member_filtered = out->shared_state;
+  out->member_active.assign(num_members(), 1);
+  out->stores.clear();
+  for (const auto& store : stores_) {
+    // The slot keeps the start timestamp; the concat's own timestamp (which
+    // rebinds advance) travels inside the tuple record.
+    out->stores.push_back(ExtractLiveSlots(
+        *store, [](const Instance& inst) -> const Tuple& {
+          return inst.concat;
+        }));
+  }
+  return true;
+}
+
+Status IterateMop::LoadState(const MopState& src,
+                             const MopStateBinding& binding) {
+  if (src.kind != MopState::Kind::kIterate) {
+    return Status::Internal("iterate m-op handed non-iterate state");
+  }
+  if (sharing_ != Sharing::kIsolated) {
+    return Status::Unimplemented(
+        "restored plans build isolated iterates only (sµ/cµ are batch "
+        "rules)");
+  }
+  if (binding.saved_slot.size() != static_cast<size_t>(num_members())) {
+    return Status::Internal("iterate state binding size mismatch");
+  }
+  for (int r = 0; r < num_members(); ++r) {
+    const int s = binding.saved_slot[r];
+    if (s < 0) continue;
+    const bool filter = src.shared_state && src.member_filtered;
+    const int store_idx = src.shared_state ? 0 : s;
+    if (store_idx >= static_cast<int>(src.stores.size())) {
+      return Status::InvalidArgument(
+          "snapshot iterate state lacks the matched member's store");
+    }
+    for (const BufferSlotState& slot : src.stores[store_idx].slots) {
+      if (filter && !StateSlotHasMember(slot, s)) continue;
+      stores_[r]->Add(
+          Instance{Tuple::Make(slot.tuple.values, slot.tuple.ts),
+                   BitVector::Singleton(0, 1)},
+          slot.key, slot.ts);
+    }
+  }
+  return Status::OK();
 }
 
 void IterateMop::Process(int input_port, const ChannelTuple& ct,

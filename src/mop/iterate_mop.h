@@ -82,6 +82,10 @@ class IterateMop : public Mop {
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
 
+  bool SaveState(MopState* out) const override;
+  Status LoadState(const MopState& src,
+                   const MopStateBinding& binding) override;
+
  private:
   struct Instance {
     Tuple concat;  // start ⊕ last

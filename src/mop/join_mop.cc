@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mop/mop_state.h"
+
 namespace rumor {
 
 MopType JoinMop::TypeFor(Sharing sharing) {
@@ -93,6 +95,91 @@ JoinMop::JoinMop(std::vector<Member> members, Sharing sharing,
     left_routing_ = build_routing(/*left=*/true);
     right_routing_ = build_routing(/*left=*/false);
   }
+}
+
+bool JoinMop::SaveState(MopState* out) const {
+  out->kind = MopState::Kind::kJoin;
+  out->shared_state = sharing_ != Sharing::kIsolated;
+  // s⋈ routes matches by window age — its one shared buffer belongs to
+  // every member wholesale; c⋈ slots belong to the members in their stored
+  // membership.
+  out->member_filtered = sharing_ == Sharing::kPrecision;
+  out->member_active.assign(num_members(), 1);
+  out->left.clear();
+  out->right.clear();
+  for (const auto& state : states_) {
+    const auto tuple_of = [](const StoredTuple& st) -> const Tuple& {
+      return st.tuple;
+    };
+    out->left.push_back(ExtractLiveSlots(state->left.buffer, tuple_of));
+    out->right.push_back(ExtractLiveSlots(state->right.buffer, tuple_of));
+  }
+  return true;
+}
+
+Status JoinMop::LoadState(const MopState& src, const MopStateBinding& binding) {
+  if (src.kind != MopState::Kind::kJoin) {
+    return Status::Internal("join m-op handed non-join state");
+  }
+  if (sharing_ != Sharing::kIsolated) {
+    return Status::Unimplemented(
+        "restored plans build isolated joins only (s⋈/c⋈ are batch rules)");
+  }
+  if (binding.saved_slot.size() != static_cast<size_t>(num_members()) ||
+      binding.input_capacities.size() < 2) {
+    return Status::Internal("join state binding size mismatch");
+  }
+  for (int r = 0; r < num_members(); ++r) {
+    const int s = binding.saved_slot[r];
+    if (s < 0) continue;
+    const BufferState* left = nullptr;
+    const BufferState* right = nullptr;
+    bool filter = false;
+    if (!src.shared_state) {
+      if (s >= static_cast<int>(src.left.size()) ||
+          s >= static_cast<int>(src.right.size())) {
+        return Status::InvalidArgument(
+            "snapshot join state lacks the matched member's buffers");
+      }
+      left = &src.left[s];
+      right = &src.right[s];
+    } else {
+      if (src.left.empty() || src.right.empty()) {
+        return Status::InvalidArgument(
+            "snapshot shared-join state holds no buffers");
+      }
+      left = &src.left[0];
+      right = &src.right[0];
+      filter = src.member_filtered;
+    }
+    // The restored member stores the membership the live path would: the
+    // tuple's slot on the restored input channel. (Stored memberships are
+    // inert in isolated mode; they matter only if a later batch re-optimize
+    // ever precision-merges this m-op.)
+    const BitVector left_membership = BitVector::Singleton(
+        members_[r].left_slot, binding.input_capacities[0]);
+    const BitVector right_membership = BitVector::Singleton(
+        members_[r].right_slot, binding.input_capacities[1]);
+    MemberState& st = *states_[r];
+    // A shared source buffer can hold tuples outside this member's window
+    // (another saved member's window was wider); that superset is harmless —
+    // ExpireBefore runs ahead of every probe.
+    for (const BufferSlotState& slot : left->slots) {
+      if (filter && !StateSlotHasMember(slot, s)) continue;
+      st.left.buffer.Add(
+          StoredTuple{Tuple::Make(slot.tuple.values, slot.tuple.ts),
+                      left_membership},
+          slot.key, slot.ts);
+    }
+    for (const BufferSlotState& slot : right->slots) {
+      if (filter && !StateSlotHasMember(slot, s)) continue;
+      st.right.buffer.Add(
+          StoredTuple{Tuple::Make(slot.tuple.values, slot.tuple.ts),
+                      right_membership},
+          slot.key, slot.ts);
+    }
+  }
+  return Status::OK();
 }
 
 void JoinMop::EmitMatch(const BitVector& members, const Tuple& left,

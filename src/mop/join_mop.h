@@ -72,6 +72,10 @@ class JoinMop : public Mop {
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
 
+  bool SaveState(MopState* out) const override;
+  Status LoadState(const MopState& src,
+                   const MopStateBinding& binding) override;
+
   int64_t StateBytes() const override {
     int64_t b = 0;
     for (const auto& state : states_) {

@@ -32,6 +32,11 @@ std::string Mop::name() const {
   return StrCat(MopTypeName(type_), "#", id_, "[", num_members(), "]");
 }
 
+Status Mop::LoadState(const MopState&, const MopStateBinding&) {
+  return Status::Unimplemented(
+      StrCat("m-op ", name(), " does not carry restorable state"));
+}
+
 void EmitForMembers(OutputMode mode, const BitVector& members,
                     const Tuple& tuple, Emitter& out) {
   if (members.None()) return;

@@ -20,9 +20,13 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/status.h"
 #include "stream/channel.h"
 
 namespace rumor {
+
+struct MopState;
+struct MopStateBinding;
 
 using MopId = int32_t;
 inline constexpr MopId kInvalidMop = -1;
@@ -101,6 +105,17 @@ class Mop {
   // container footprints (tuple *payload* blocks are accounted by the
   // TupleArena); they are for memory budgeting, not exact accounting.
   virtual int64_t StateBytes() const { return 0; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  // Fills `out` with this m-op's serializable runtime state and returns
+  // true. Stateless m-ops return false (the default) and are skipped by the
+  // checkpoint. The m-op must be quiescent (no Process in flight).
+  virtual bool SaveState(MopState* /*out*/) const { return false; }
+
+  // Loads saved state into this (freshly built, empty) m-op according to
+  // `binding` (see mop_state.h). Members without a saved source are left
+  // empty. Implemented by exactly the m-ops whose SaveState returns true.
+  virtual Status LoadState(const MopState& src, const MopStateBinding& binding);
 
   // --- lightweight metrics --------------------------------------------------
   // Tuple/batch counters are maintained by the executor (in) and the m-op

@@ -1,5 +1,7 @@
 #include "mop/sequence_mop.h"
 
+#include "mop/mop_state.h"
+
 namespace rumor {
 
 MopType SequenceMop::TypeFor(Sharing sharing) {
@@ -56,6 +58,56 @@ size_t SequenceMop::instance_count() const {
   size_t n = 0;
   for (const auto& s : stores_) n += s->live_size();
   return n;
+}
+
+bool SequenceMop::SaveState(MopState* out) const {
+  out->kind = MopState::Kind::kSequence;
+  out->shared_state = sharing_ != Sharing::kIsolated;
+  // s; stores all-ones memberships and c; channel memberships — in both,
+  // bit s selects saved member s's instances.
+  out->member_filtered = out->shared_state;
+  out->member_active.assign(num_members(), 1);
+  out->stores.clear();
+  for (const auto& store : stores_) {
+    out->stores.push_back(ExtractLiveSlots(
+        *store, [](const Instance& inst) -> const Tuple& {
+          return inst.start;
+        }));
+  }
+  return true;
+}
+
+Status SequenceMop::LoadState(const MopState& src,
+                              const MopStateBinding& binding) {
+  if (src.kind != MopState::Kind::kSequence) {
+    return Status::Internal("sequence m-op handed non-sequence state");
+  }
+  if (sharing_ != Sharing::kIsolated) {
+    return Status::Unimplemented(
+        "restored plans build isolated sequences only (s;/c; are batch "
+        "rules)");
+  }
+  if (binding.saved_slot.size() != static_cast<size_t>(num_members())) {
+    return Status::Internal("sequence state binding size mismatch");
+  }
+  for (int r = 0; r < num_members(); ++r) {
+    const int s = binding.saved_slot[r];
+    if (s < 0) continue;
+    const bool filter = src.shared_state && src.member_filtered;
+    const int store_idx = src.shared_state ? 0 : s;
+    if (store_idx >= static_cast<int>(src.stores.size())) {
+      return Status::InvalidArgument(
+          "snapshot sequence state lacks the matched member's store");
+    }
+    for (const BufferSlotState& slot : src.stores[store_idx].slots) {
+      if (filter && !StateSlotHasMember(slot, s)) continue;
+      stores_[r]->Add(
+          Instance{Tuple::Make(slot.tuple.values, slot.tuple.ts),
+                   BitVector::Singleton(0, 1)},
+          slot.key, slot.ts);
+    }
+  }
+  return Status::OK();
 }
 
 void SequenceMop::Process(int input_port, const ChannelTuple& ct,

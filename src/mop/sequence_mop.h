@@ -74,6 +74,10 @@ class SequenceMop : public Mop {
   void Process(int input_port, const ChannelTuple& tuple,
                Emitter& out) override;
 
+  bool SaveState(MopState* out) const override;
+  Status LoadState(const MopState& src,
+                   const MopStateBinding& binding) override;
+
   int64_t StateBytes() const override {
     int64_t b = 0;
     for (const auto& store : stores_) {

@@ -223,6 +223,128 @@ int SharedAggEngine::ReuseMember(int member, const AggMemberSpec& spec) {
   return Backfill(member);
 }
 
+void SharedAggEngine::ExtractState(AggEngineState* out) const {
+  out->entries.clear();
+  out->members.assign(members_.size(), AggMemberState{});
+
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const int64_t abs = base_ + static_cast<int64_t>(i);
+    BitVector live(num_members());
+    for (int m = 0; m < num_members(); ++m) {
+      if (active_[m] && abs >= states_[m].cursor && EntryHasMember(e, m)) {
+        live.Set(m);
+      }
+    }
+    if (live.None()) continue;  // fully expired; nothing left to retract
+    AggLogEntry saved;
+    saved.ts = e.ts;
+    saved.value = e.value;
+    saved.tuple.ts = e.tuple.ts();
+    saved.tuple.values.assign(e.tuple.values().begin(),
+                              e.tuple.values().end());
+    saved.membership = std::move(live);
+    out->entries.push_back(std::move(saved));
+  }
+
+  for (int m = 0; m < num_members(); ++m) {
+    AggMemberState& member = out->members[m];
+    // The cursor is derivable (first set bit); stored for readability only.
+    member.cursor = static_cast<int64_t>(out->entries.size());
+    for (size_t i = 0; i < out->entries.size(); ++i) {
+      if (out->entries[i].membership.Test(m)) {
+        member.cursor = static_cast<int64_t>(i);
+        break;
+      }
+    }
+    if (!active_[m]) continue;
+    for (const auto& [key, g] : states_[m].groups) {
+      AggGroupState saved;
+      saved.key = key.values;
+      saved.count = g.count;
+      saved.isum = g.isum;
+      saved.double_count = g.double_count;
+      saved.dsum = g.dsum;
+      member.groups.push_back(std::move(saved));
+    }
+  }
+}
+
+Status SharedAggEngine::LoadState(const AggEngineState& state,
+                                  const std::vector<int>& src_members) {
+  if (!entries_.empty()) {
+    return Status::Internal("aggregate state restore needs an empty engine");
+  }
+  if (src_members.size() != static_cast<size_t>(num_members())) {
+    return Status::Internal("aggregate member mapping size mismatch");
+  }
+
+  // Re-log the saved entries that at least one restored member still needs.
+  for (const AggLogEntry& saved : state.entries) {
+    BitVector membership(num_members());
+    for (int r = 0; r < num_members(); ++r) {
+      const int s = src_members[r];
+      if (s >= 0 && s < saved.membership.size() && saved.membership.Test(s)) {
+        membership.Set(r);
+      }
+    }
+    if (membership.None()) continue;
+    Entry e;
+    e.ts = saved.ts;
+    e.value = saved.value;
+    e.tuple = Tuple::Make(saved.tuple.values, saved.tuple.ts);
+    e.membership = std::move(membership);
+    entries_.push_back(std::move(e));
+  }
+
+  for (int r = 0; r < num_members(); ++r) {
+    MemberState& st = states_[r];
+    st.cursor = base_ + static_cast<int64_t>(entries_.size());
+    const int s = src_members[r];
+    if (!active_[r] || s < 0) continue;
+    if (s >= static_cast<int>(state.members.size())) {
+      return Status::Internal("aggregate member mapping out of range");
+    }
+    // Replay the member's live entries in log (timestamp) order. This
+    // rebuilds the extrema stacks / ordered multisets under the same FIFO
+    // discipline live processing follows, and recomputes the group
+    // numerics — which are then replaced by the saved bit-exact values so
+    // restored running sums match the uninterrupted run to the last bit.
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      if (!e.membership.Test(r)) continue;
+      if (st.cursor > base_ + static_cast<int64_t>(i)) {
+        st.cursor = base_ + static_cast<int64_t>(i);
+      }
+      Apply(r, e, +1);
+    }
+    const std::vector<AggGroupState>& saved_groups = state.members[s].groups;
+    if (st.groups.size() != saved_groups.size()) {
+      return Status::InvalidArgument(
+          "snapshot aggregate state inconsistent: replayed group count "
+          "does not match the saved accumulators");
+    }
+    for (const AggGroupState& g : saved_groups) {
+      auto it = st.groups.find(ValueVec{g.key});
+      if (it == st.groups.end()) {
+        return Status::InvalidArgument(
+            "snapshot aggregate state inconsistent: saved group key has no "
+            "live entries in the saved log");
+      }
+      if (it->second.count != g.count) {
+        return Status::InvalidArgument(
+            "snapshot aggregate state inconsistent: saved group count does "
+            "not match the saved log");
+      }
+      it->second.count = g.count;
+      it->second.isum = g.isum;
+      it->second.dsum = g.dsum;
+      it->second.double_count = g.double_count;
+    }
+  }
+  return Status::OK();
+}
+
 int64_t SharedAggEngine::ApproxBytes() const {
   // Hash/tree node bookkeeping estimate (pointers, hash, allocator rounding).
   constexpr int64_t kNodeOverhead = 48;

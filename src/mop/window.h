@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "common/bitvector.h"
+#include "common/status.h"
 #include "common/tuple.h"
+#include "mop/mop_state.h"
 #include "query/query.h"
 
 namespace rumor {
@@ -121,6 +123,15 @@ class KeyedBuffer {
     for (size_t i = 0; i < slots_.size(); ++i) {
       Slot& slot = slots_[i];
       if (slot.alive) fn(base_ + static_cast<int64_t>(i), slot);
+    }
+  }
+
+  // Visits every live slot in insertion (timestamp) order: fn(const Slot&).
+  // Used by checkpointing; consumed and front-expired slots are skipped.
+  template <typename Fn>
+  void ForAllLive(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.alive) fn(slot);
     }
   }
 
@@ -290,6 +301,25 @@ class SharedAggEngine {
   // under the same fn/attr discipline as AddMember, backfilling its state
   // from the retained log. Returns the number of backfilled entries.
   int ReuseMember(int member, const AggMemberSpec& spec);
+
+  // --- checkpoint/restore ---------------------------------------------------
+  // Serializes the retained log and per-member group accumulators into
+  // `out` (slots are left for the caller). Entry memberships are
+  // *normalized*: bits of members whose expiry cursor already passed an
+  // entry are cleared, so each member's cursor is recoverable as the index
+  // of its first set bit — which also makes per-shard logs mergeable by a
+  // plain timestamp merge. Group numerics are saved bit-exactly.
+  void ExtractState(AggEngineState* out) const;
+
+  // Loads `state` into this freshly constructed (empty) engine.
+  // `src_members[r]` names the saved engine-member index whose state
+  // restored member r inherits (-1 = start empty). Entries are re-logged in
+  // saved order; extrema stacks / ordered multisets are rebuilt by
+  // replaying the log (same FIFO discipline as live processing) while the
+  // saved accumulator numerics are adopted verbatim, with the replayed
+  // per-group counts cross-checked against the saved ones.
+  Status LoadState(const AggEngineState& state,
+                   const std::vector<int>& src_members);
 
  private:
   struct Entry {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/trace.h"
 #include "common/tuple.h"
 #include "plan/spsc_queue.h"
@@ -297,7 +298,11 @@ ShardedExecutor::InBatch* ShardedExecutor::AcquireShell(Shard& sh) {
     return b;
   }
   InBatch* b = nullptr;
-  if (sh.in_free.TryPop(&b)) return b;
+  // Failpoint: pretend the free ring was momentarily empty, forcing the
+  // slow drain/park backpressure path below even when shells are available.
+  if (!RUMOR_FAILPOINT("spsc/acquire-stall") && sh.in_free.TryPop(&b)) {
+    return b;
+  }
 #if RUMOR_METRICS_ENABLED
   const int64_t t0 = MonotonicNs();
 #endif

@@ -514,16 +514,40 @@ Result<Query> ParseQuery(const std::string& text, const Catalog& catalog) {
 
 Result<std::vector<Query>> ParseScript(const std::string& text,
                                        const Catalog& catalog) {
+  return ParseScript(text, catalog, nullptr);
+}
+
+Result<std::vector<Query>> ParseScript(
+    const std::string& text, const Catalog& catalog,
+    std::vector<std::string>* statement_texts) {
   auto tokens = Tokenize(text);
   if (!tokens.ok()) return tokens.status();
+  const std::vector<Token>& toks = tokens.value();
   size_t pos = 0;
   Catalog working = catalog;  // copies entries; later queries see earlier ones
   std::vector<Query> out;
-  QueryParser parser(tokens.value(), &pos, working);
+  QueryParser parser(toks, &pos, working);
   parser.SkipSemicolons();
   while (!parser.AtEnd()) {
+    // Body start: past the optional `name ':'` prefix (mirrors
+    // ParseStatement), so the recorded text re-parses with ParseQuery.
+    size_t body_tok = pos;
+    if (toks[pos].kind == TokenKind::kIdent && !IsReserved(toks[pos].text) &&
+        pos + 1 < toks.size() && toks[pos + 1].kind == TokenKind::kSymbol &&
+        toks[pos + 1].text == ":") {
+      body_tok = pos + 2;
+    }
     auto q = parser.ParseStatement(static_cast<int>(out.size()) + 1);
     if (!q.ok()) return q.status();
+    if (statement_texts != nullptr) {
+      // `pos` now sits on the ';' (or the end token, whose position is
+      // text.size()), which bounds this statement's source span.
+      const size_t begin = body_tok < toks.size()
+                               ? static_cast<size_t>(toks[body_tok].position)
+                               : text.size();
+      const size_t end = static_cast<size_t>(toks[pos].position);
+      statement_texts->push_back(Trim(text.substr(begin, end - begin)));
+    }
     working.AddQuery(q.value());
     out.push_back(std::move(q).value());
     if (!parser.AtSemicolon() && !parser.AtEnd()) {

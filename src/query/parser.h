@@ -76,6 +76,13 @@ Result<Query> ParseQuery(const std::string& text, const Catalog& catalog);
 Result<std::vector<Query>> ParseScript(const std::string& text,
                                        const Catalog& catalog);
 
+// As above, and additionally reports each statement's source text with any
+// `name ':'` prefix stripped — re-parseable later with ParseQuery. Engine
+// checkpoints persist these texts to rebuild the query set on restore.
+Result<std::vector<Query>> ParseScript(
+    const std::string& text, const Catalog& catalog,
+    std::vector<std::string>* statement_texts);
+
 }  // namespace rumor
 
 #endif  // RUMOR_QUERY_PARSER_H_

@@ -1,0 +1,458 @@
+// Durability: snapshot round-trips, crash-recovery equivalence (the restored
+// engine's suffix outputs are byte-identical to an uninterrupted run's),
+// re-partitioned sharded restore, checkpoint/churn interleaving, and
+// corrupted-snapshot rejection.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/stream_engine.h"
+#include "common/snapshot_io.h"
+
+namespace rumor {
+namespace {
+
+// --- snapshot_io unit round-trips --------------------------------------------
+
+TEST(SnapshotIoTest, PrimitivesRoundTrip) {
+  SnapshotWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(3.14159);
+  w.Str("hello");
+  w.Str("");
+  w.WriteValue(Value());
+  w.WriteValue(Value(int64_t{-7}));
+  w.WriteValue(Value(2.5));
+  w.WriteValue(Value("s"));
+  w.WriteValue(Value(true));
+
+  SnapshotReader r(w.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  std::string s;
+  ASSERT_TRUE(r.U8(&u8).ok());
+  EXPECT_EQ(u8, 0xAB);
+  ASSERT_TRUE(r.U32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(r.U64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  ASSERT_TRUE(r.I64(&i64).ok());
+  EXPECT_EQ(i64, -42);
+  ASSERT_TRUE(r.F64(&f64).ok());
+  EXPECT_EQ(f64, 3.14159);
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_EQ(s, "");
+  Value v;
+  ASSERT_TRUE(r.ReadValue(&v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(r.ReadValue(&v).ok());
+  EXPECT_EQ(v.AsInt(), -7);
+  ASSERT_TRUE(r.ReadValue(&v).ok());
+  EXPECT_EQ(v.AsDouble(), 2.5);
+  ASSERT_TRUE(r.ReadValue(&v).ok());
+  EXPECT_EQ(v.AsString(), "s");
+  ASSERT_TRUE(r.ReadValue(&v).ok());
+  EXPECT_TRUE(v.AsBool());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SnapshotIoTest, ReaderRejectsTruncation) {
+  SnapshotWriter w;
+  w.U64(1);
+  SnapshotReader r(std::string_view(w.bytes()).substr(0, 3));
+  uint64_t v = 0;
+  EXPECT_FALSE(r.U64(&v).ok());
+}
+
+TEST(SnapshotIoTest, SectionsRoundTripThroughContainer) {
+  SnapshotBuilder builder;
+  SnapshotWriter w1;
+  w1.Str("engine");
+  builder.AddSection(SnapshotSection::kEngine, w1.Take());
+  SnapshotWriter w2;
+  w2.Str("state");
+  builder.AddSection(SnapshotSection::kState, w2.Take());
+  const std::string bytes = builder.Take();
+
+  std::vector<SnapshotSectionView> sections;
+  ASSERT_TRUE(ParseSnapshot(bytes, &sections).ok());
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].id, SnapshotSection::kEngine);
+  EXPECT_EQ(sections[1].id, SnapshotSection::kState);
+  std::string s;
+  SnapshotReader r(sections[1].payload);
+  ASSERT_TRUE(r.Str(&s).ok());
+  EXPECT_EQ(s, "state");
+}
+
+// --- equivalence harness ------------------------------------------------------
+
+Schema CpuSchema() {
+  return Schema({{"pid", ValueType::kInt}, {"load", ValueType::kInt}});
+}
+Schema NetSchema() {
+  return Schema({{"pid", ValueType::kInt}, {"bytes", ValueType::kInt}});
+}
+
+// Per-query output transcript; per-tuple pushes keep even the sharded merge
+// order fully deterministic, so equality below is byte-identical equality.
+using Outputs = std::map<std::string, std::vector<std::string>>;
+
+void Attach(StreamEngine& engine, Outputs* out) {
+  engine.SetOutputHandler([out](const std::string& q, const Tuple& t) {
+    (*out)[q].push_back(t.ToString());
+  });
+}
+
+// A workload exercising every stateful operator: selections (stateless),
+// grouped AVG and MAX windows (two-stacks state), a windowed equi-join,
+// a sequence, and an iterate over a derived aggregate stream.
+void AddWorkload(StreamEngine& engine) {
+  ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(engine.RegisterSource("NET", NetSchema()).ok());
+  ASSERT_TRUE(engine.AddScript(
+                  "HOT: SELECT * FROM CPU WHERE load > 50;"
+                  "AVGQ: SELECT pid, AVG(load) FROM CPU [RANGE 20] "
+                  "GROUP BY pid;"
+                  "MAXQ: SELECT pid, MAX(load) FROM CPU [RANGE 15] "
+                  "GROUP BY pid;"
+                  "JQ: SELECT * FROM CPU [RANGE 10] JOIN NET [RANGE 10] "
+                  "ON CPU.pid = NET.pid;"
+                  "SQ: SELECT * FROM CPU SEQ NET ON CPU.pid = NET.pid "
+                  "WITHIN 12;"
+                  "RAMPS: SELECT * FROM (SELECT * FROM AVGQ WHERE "
+                  "avg_load < 80) AS B ITERATE AVGQ AS E ON B.pid = E.pid "
+                  "AND E.avg_load > last.avg_load WITHIN 30;")
+                  .ok());
+}
+
+// Deterministic interleaved input: tuple i goes to CPU (even) or NET (odd).
+void PushRange(StreamEngine& engine, int begin, int end) {
+  for (int i = begin; i < end; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(engine
+                      .Push("CPU", Tuple::MakeInts(
+                                       {i % 5, (i * 37) % 100}, i))
+                      .ok());
+    } else {
+      ASSERT_TRUE(engine
+                      .Push("NET", Tuple::MakeInts(
+                                       {i % 5, (i * 53) % 100}, i))
+                      .ok());
+    }
+  }
+}
+
+// Suffix of `all` past the first `prefix[q]` outputs, per query.
+Outputs SuffixOf(const Outputs& all, const std::map<std::string, size_t>& prefix) {
+  Outputs out;
+  for (const auto& [q, lines] : all) {
+    auto it = prefix.find(q);
+    const size_t skip = it == prefix.end() ? 0 : it->second;
+    if (skip < lines.size()) {  // drop empty suffixes: a query that stayed
+      out[q].assign(lines.begin() + static_cast<long>(skip), lines.end());
+    }  // silent has no key on the recovered side either
+  }
+  return out;
+}
+
+std::map<std::string, size_t> CountsOf(const Outputs& o) {
+  std::map<std::string, size_t> c;
+  for (const auto& [q, lines] : o) c[q] = lines.size();
+  return c;
+}
+
+// Runs the workload uninterrupted at `shards`, recording the outputs of
+// tuples [split, total) separately.
+Outputs ReferenceSuffix(int shards, int split, int total) {
+  StreamEngine engine;
+  EXPECT_TRUE(engine.SetShardCount(shards).ok());
+  Outputs all;
+  Attach(engine, &all);
+  AddWorkload(engine);
+  EXPECT_TRUE(engine.Start().ok());
+  PushRange(engine, 0, split);
+  engine.Flush();
+  const auto prefix = CountsOf(all);
+  PushRange(engine, split, total);
+  engine.Flush();
+  return SuffixOf(all, prefix);
+}
+
+// Runs to `split` at `save_shards`, checkpoints, "crashes" (drops the
+// engine), restores into a fresh engine at `restore_shards`, and replays
+// the suffix there.
+Outputs RecoveredSuffix(int save_shards, int restore_shards, int split,
+                        int total) {
+  std::string snapshot;
+  {
+    StreamEngine engine;
+    EXPECT_TRUE(engine.SetShardCount(save_shards).ok());
+    Outputs ignored;
+    Attach(engine, &ignored);
+    AddWorkload(engine);
+    EXPECT_TRUE(engine.Start().ok());
+    PushRange(engine, 0, split);
+    EXPECT_TRUE(engine.Checkpoint(&snapshot).ok());
+    // Hard drop: the engine is destroyed with state only in the snapshot.
+  }
+  StreamEngine restored;
+  EXPECT_TRUE(restored.SetShardCount(restore_shards).ok());
+  Outputs suffix;
+  Attach(restored, &suffix);
+  Status st = restored.Restore(snapshot);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  PushRange(restored, split, total);
+  restored.Flush();
+  return suffix;
+}
+
+TEST(RecoveryTest, CrashRecoveryEquivalenceSingleThreaded) {
+  const Outputs expected = ReferenceSuffix(1, 120, 240);
+  const Outputs actual = RecoveredSuffix(1, 1, 120, 240);
+  EXPECT_EQ(actual, expected);
+  // The workload actually produced suffix outputs for every query.
+  for (const char* q : {"HOT", "AVGQ", "MAXQ", "JQ", "SQ"}) {
+    EXPECT_FALSE(expected.at(q).empty()) << q;
+  }
+}
+
+TEST(RecoveryTest, CrashRecoveryEquivalenceShardedOneToFour) {
+  const Outputs expected = ReferenceSuffix(1, 120, 240);
+  const Outputs actual = RecoveredSuffix(1, 4, 120, 240);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(RecoveryTest, CrashRecoveryEquivalenceShardedFourToTwo) {
+  const Outputs expected = ReferenceSuffix(4, 120, 240);
+  const Outputs actual = RecoveredSuffix(4, 2, 120, 240);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(RecoveryTest, CheckpointAtStartAndAtEndRoundTrips) {
+  // Degenerate split points: empty state and fully warm state.
+  for (int split : {0, 239}) {
+    const Outputs expected = ReferenceSuffix(1, split, 240);
+    const Outputs actual = RecoveredSuffix(1, 1, split, 240);
+    EXPECT_EQ(actual, expected) << "split=" << split;
+  }
+}
+
+// Checkpoint interleaved with query churn: queries added and removed live
+// before the checkpoint; the restored engine continues the same script.
+TEST(RecoveryTest, ChurnAroundCheckpointEquivalence) {
+  auto run_prefix = [](StreamEngine& engine, Outputs* out) {
+    Attach(engine, out);
+    AddWorkload(engine);
+    ASSERT_TRUE(engine.Start().ok());
+    PushRange(engine, 0, 40);
+    ASSERT_TRUE(
+        engine.AddQueryText("SELECT * FROM CPU WHERE load < 20", "COLD")
+            .ok());
+    PushRange(engine, 40, 80);
+    ASSERT_TRUE(engine.RemoveQuery("HOT").ok());
+    ASSERT_TRUE(engine.RemoveQuery("RAMPS").ok());
+    PushRange(engine, 80, 100);
+  };
+  auto run_suffix = [](StreamEngine& engine) {
+    ASSERT_TRUE(
+        engine.AddQueryText("SELECT * FROM CPU WHERE load > 70", "HOT2")
+            .ok());
+    PushRange(engine, 100, 160);
+    engine.Flush();
+  };
+
+  Outputs ref;
+  std::map<std::string, size_t> ref_prefix;
+  {
+    StreamEngine engine;
+    run_prefix(engine, &ref);
+    engine.Flush();
+    ref_prefix = CountsOf(ref);
+    run_suffix(engine);
+  }
+  const Outputs expected = SuffixOf(ref, ref_prefix);
+
+  std::string snapshot;
+  {
+    StreamEngine engine;
+    Outputs ignored;
+    run_prefix(engine, &ignored);
+    ASSERT_TRUE(engine.Checkpoint(&snapshot).ok());
+  }
+  StreamEngine restored;
+  Outputs actual;
+  Attach(restored, &actual);
+  Status st = restored.Restore(snapshot);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  run_suffix(restored);
+  EXPECT_EQ(actual, expected);
+  EXPECT_FALSE(expected.at("COLD").empty());
+  EXPECT_FALSE(expected.at("HOT2").empty());
+}
+
+TEST(RecoveryTest, RestoredCountersAndCountsCarryOver) {
+  std::string snapshot;
+  int64_t hot_at_checkpoint = 0;
+  {
+    StreamEngine engine;
+    Outputs ignored;
+    Attach(engine, &ignored);
+    AddWorkload(engine);
+    ASSERT_TRUE(engine.Start().ok());
+    PushRange(engine, 0, 50);
+    hot_at_checkpoint = engine.OutputCount("HOT");
+    ASSERT_TRUE(engine.Checkpoint(&snapshot).ok());
+  }
+  ASSERT_GT(hot_at_checkpoint, 0);
+  StreamEngine restored;
+  Outputs ignored;
+  Attach(restored, &ignored);
+  ASSERT_TRUE(restored.Restore(snapshot).ok());
+  EXPECT_EQ(restored.OutputCount("HOT"), hot_at_checkpoint);
+  EXPECT_EQ(restored.num_queries(), 6);
+  PushRange(restored, 50, 60);
+  EXPECT_GE(restored.OutputCount("HOT"), hot_at_checkpoint);
+}
+
+TEST(RecoveryTest, CheckpointRequiresStartedEngine) {
+  StreamEngine engine;
+  std::string snapshot;
+  EXPECT_FALSE(engine.Checkpoint(&snapshot).ok());
+}
+
+TEST(RecoveryTest, RestoreRequiresFreshEngine) {
+  std::string snapshot;
+  {
+    StreamEngine engine;
+    AddWorkload(engine);
+    ASSERT_TRUE(engine.Start().ok());
+    ASSERT_TRUE(engine.Checkpoint(&snapshot).ok());
+  }
+  StreamEngine busy;
+  ASSERT_TRUE(busy.RegisterSource("CPU", CpuSchema()).ok());
+  EXPECT_FALSE(busy.Restore(snapshot).ok());
+}
+
+// Corrupted snapshots: every corruption is rejected cleanly, no partial
+// state sticks, and the engine afterwards restores a pristine copy.
+TEST(RecoveryTest, CorruptedSnapshotTable) {
+  std::string snapshot;
+  {
+    StreamEngine engine;
+    AddWorkload(engine);
+    ASSERT_TRUE(engine.Start().ok());
+    PushRange(engine, 0, 60);
+    ASSERT_TRUE(engine.Checkpoint(&snapshot).ok());
+  }
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"empty", ""});
+  cases.push_back({"truncated-header", snapshot.substr(0, 6)});
+  cases.push_back({"truncated-half", snapshot.substr(0, snapshot.size() / 2)});
+  cases.push_back({"truncated-tail", snapshot.substr(0, snapshot.size() - 1)});
+  {
+    std::string s = snapshot;
+    s[2] ^= 0x01;  // magic
+    cases.push_back({"bad-magic", std::move(s)});
+  }
+  {
+    std::string s = snapshot;
+    s[8] += 1;  // format version (little-endian u32 after the magic)
+    cases.push_back({"version-bump", std::move(s)});
+  }
+  for (size_t offset : {snapshot.size() / 3, snapshot.size() - 2}) {
+    std::string s = snapshot;
+    s[offset] ^= 0x10;  // payload bit flips -> CRC mismatch
+    cases.push_back({"bit-flip", std::move(s)});
+  }
+
+  for (const Case& c : cases) {
+    StreamEngine engine;
+    Status st = engine.Restore(c.bytes);
+    EXPECT_FALSE(st.ok()) << c.name;
+    // No partial state: the engine is still fresh enough to restore the
+    // intact snapshot and then run normally.
+    Status ok = engine.Restore(snapshot);
+    EXPECT_TRUE(ok.ok()) << c.name << ": " << ok.ToString();
+    PushRange(engine, 60, 70);
+  }
+}
+
+TEST(RecoveryTest, FileRoundTripWorks) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "engine.snap";
+  {
+    StreamEngine engine;
+    AddWorkload(engine);
+    ASSERT_TRUE(engine.Start().ok());
+    PushRange(engine, 0, 50);
+    ASSERT_TRUE(engine.CheckpointToFile(path).ok());
+  }
+  StreamEngine restored;
+  Outputs out;
+  Attach(restored, &out);
+  ASSERT_TRUE(restored.RestoreFromFile(path).ok());
+  PushRange(restored, 50, 60);
+  std::remove(path.c_str());
+}
+
+TEST(RecoveryTest, CheckpointRejectsLogicalObjectQueries) {
+  // A query added as a logical object has no RQL text to re-parse; the
+  // checkpoint must say so instead of writing an unrestorable snapshot.
+  StreamEngine engine;
+  ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+  ASSERT_TRUE(engine.AddQueryText("SELECT * FROM CPU", "TEXTED").ok());
+  ASSERT_TRUE(engine.Start().ok());
+  auto parsed = ParseQuery("SELECT * FROM CPU WHERE load > 1",
+                           Catalog());  // parse out-of-band: no text recorded
+  ASSERT_TRUE(!parsed.ok());  // unknown source in an empty catalog
+  Catalog catalog;
+  catalog.AddSource("CPU", CpuSchema());
+  auto q = ParseQuery("SELECT * FROM CPU WHERE load > 1", catalog);
+  ASSERT_TRUE(q.ok());
+  Query query = std::move(q).value();
+  query.name = "OBJ";
+  ASSERT_TRUE(engine.AddQuery(std::move(query)).ok());
+  std::string snapshot;
+  Status st = engine.Checkpoint(&snapshot);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("OBJ"), std::string::npos);
+}
+
+// Regression: the metrics ticker thread must always be joined — on engine
+// destruction and on restart — even right after StartMetricsTicker.
+TEST(RecoveryTest, MetricsTickerAlwaysJoined) {
+  for (int i = 0; i < 3; ++i) {
+    StreamEngine engine;
+    ASSERT_TRUE(engine.RegisterSource("CPU", CpuSchema()).ok());
+    ASSERT_TRUE(engine.AddQueryText("SELECT * FROM CPU", "Q").ok());
+    ASSERT_TRUE(engine.Start().ok());
+    engine.StartMetricsTicker(std::chrono::milliseconds(1));
+    engine.StartMetricsTicker(std::chrono::milliseconds(1));  // replaces
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    if (i == 0) engine.StopMetricsTicker();  // explicit stop path
+    // Otherwise the destructor must stop + join (ASan/TSan would flag a
+    // leaked running thread).
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rumor
